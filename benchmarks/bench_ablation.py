@@ -1,0 +1,21 @@
+"""E13 — ablations: phase II of Theorem 4, PortOne on odd degrees,
+inflated degree promises for A(Δ)."""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import format_ablations, run_ablations
+
+from conftest import emit
+
+
+def test_ablation_suite(benchmark):
+    rows = benchmark.pedantic(
+        run_ablations,
+        kwargs={"odd_degrees": (3, 5), "deltas": (3, 4)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_ablations(rows))
+    assert len(rows) == 6
+    # ablated variants are never better than the full algorithms
+    assert all(r.solution_size >= r.baseline_size for r in rows)

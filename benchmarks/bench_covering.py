@@ -1,0 +1,56 @@
+"""E14 — covering-map indistinguishability at scale (§2.3).
+
+Times random k-fold lifts plus the lifted-output verification for all
+three algorithms of the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import BoundedDegreeEDS, PortOneEDS, RegularOddEDS
+from repro.generators import petersen, random_regular
+from repro.portgraph import random_lift
+from repro.runtime import run_anonymous
+
+
+def lift_and_check(base, algorithm, fold, seed):
+    lift, f = random_lift(base, fold, seed=seed)
+    base_run = run_anonymous(base, algorithm)
+    lift_run = run_anonymous(lift, algorithm)
+    mismatches = sum(
+        1 for v in lift.nodes if lift_run.outputs[v] != base_run.outputs[f[v]]
+    )
+    return lift, mismatches
+
+
+@pytest.mark.parametrize("fold", (2, 4, 8))
+def test_port_one_lifts(benchmark, fold):
+    base = petersen(seed=1)
+    lift, mismatches = benchmark(lift_and_check, base, PortOneEDS, fold, fold)
+    assert mismatches == 0
+    assert lift.num_nodes == 10 * fold
+
+
+@pytest.mark.parametrize("fold", (2, 4))
+def test_regular_odd_lifts(benchmark, fold):
+    base = random_regular(3, 8, seed=5)
+    _, mismatches = benchmark.pedantic(
+        lift_and_check,
+        args=(base, RegularOddEDS, fold, fold),
+        rounds=2,
+        iterations=1,
+    )
+    assert mismatches == 0
+
+
+@pytest.mark.parametrize("fold", (2, 4))
+def test_bounded_degree_lifts(benchmark, fold):
+    base = random_regular(4, 9, seed=6)
+    _, mismatches = benchmark.pedantic(
+        lift_and_check,
+        args=(base, BoundedDegreeEDS(4), fold, fold),
+        rounds=2,
+        iterations=1,
+    )
+    assert mismatches == 0

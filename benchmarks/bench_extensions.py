@@ -1,0 +1,63 @@
+"""Extension benchmarks: the [21] double-cover subroutine standalone,
+its vertex-cover corollary, the weighted exact solver, and the
+randomised matching (private coins vs the deterministic impossibility).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.double_cover import (
+    DominatingTwoMatching,
+    three_approx_vertex_cover,
+)
+from repro.algorithms.randomized import RandomizedMaximalMatching
+from repro.eds import is_edge_dominating_set
+from repro.eds.weighted import minimum_weight_eds, total_weight
+from repro.generators import cycle, random_regular
+from repro.matching import is_k_matching, is_maximal_matching
+from repro.portgraph.numbering import factor_pairing_numbering
+from repro.runtime import run_anonymous
+from repro.runtime.randomized import run_randomized
+
+
+@pytest.mark.parametrize("n", (50, 200))
+def test_double_cover_two_matching(benchmark, n):
+    graph = random_regular(4, n, seed=n)
+    result = benchmark(run_anonymous, graph, DominatingTwoMatching(4))
+    p = result.edge_set()
+    assert is_k_matching(p, 2)
+    assert is_edge_dominating_set(graph, p)
+    assert result.rounds == 8
+
+
+@pytest.mark.parametrize("n", (30, 100))
+def test_vertex_cover_three_approx(benchmark, n):
+    graph = random_regular(3, n, seed=n)
+    cover = benchmark(three_approx_vertex_cover, graph)
+    for e in graph.edges:
+        assert e.endpoints & cover
+
+
+@pytest.mark.parametrize("n", (8, 12))
+def test_weighted_exact_solver(benchmark, n):
+    graph = random_regular(3, n, seed=n)
+    rng = random.Random(n)
+    weights = {e: rng.uniform(0.5, 4.0) for e in graph.edges}
+    exact = benchmark.pedantic(
+        minimum_weight_eds, args=(graph, weights), rounds=2, iterations=1
+    )
+    assert is_edge_dominating_set(graph, exact)
+    assert total_weight(exact, weights) > 0
+
+
+@pytest.mark.parametrize("n", (32, 128))
+def test_randomized_matching_on_symmetric_cycle(benchmark, n):
+    """The case deterministic anonymity provably cannot solve (§1.4)."""
+    graph = cycle(n, numbering=factor_pairing_numbering)
+    result = benchmark(
+        run_randomized, graph, RandomizedMaximalMatching, seed=n
+    )
+    assert is_maximal_matching(graph, result.edge_set())

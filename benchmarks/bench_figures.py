@@ -1,0 +1,24 @@
+"""E5-E11 — regenerate every figure of the paper and verify its claims.
+
+Each benchmark times one figure builder; the builder itself eagerly
+verifies every property the paper states about the depicted objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import all_figures
+
+from conftest import emit
+
+FIGURES = sorted(all_figures())
+
+
+@pytest.mark.parametrize("figure_id", FIGURES)
+def test_figure(benchmark, figure_id):
+    builder = all_figures()[figure_id]
+    artifact = benchmark.pedantic(builder, rounds=2, iterations=1)
+    emit(artifact.rendering)
+    assert artifact.checks
+    assert artifact.rendering

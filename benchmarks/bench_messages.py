@@ -1,0 +1,35 @@
+"""E17 — message complexity of the three algorithms.
+
+Times the traced runs; the experiment's structural expectations
+(PortOne sends exactly 2|E| messages; setup rounds are the traffic peak;
+per-node traffic independent of n) are asserted inside the sweep.
+"""
+
+from __future__ import annotations
+
+
+from repro.experiments.messages import (
+    format_messages,
+    message_complexity_sweep,
+)
+
+from conftest import emit
+
+
+def test_message_sweep(benchmark):
+    rows = benchmark.pedantic(
+        message_complexity_sweep,
+        kwargs={"odd_degrees": (3, 5), "sizes": (16, 32, 64)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_messages(rows))
+    per_node = {}
+    for r in rows:
+        per_node.setdefault((r.algorithm, r.d), []).append(
+            r.messages_per_node
+        )
+    for values in per_node.values():
+        assert max(values) - min(values) < 0.3 * max(values), (
+            "per-node traffic must be (nearly) independent of n"
+        )

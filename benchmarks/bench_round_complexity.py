@@ -1,0 +1,68 @@
+"""E4 — the Table 1 "Time" column: measured round complexity.
+
+Theorem 3 runs in exactly 1 round; Theorem 4 in 2 + 2d²; Theorem 5 in
+2Δ'² + 4Δ' — all independent of n.  The benchmark times the simulation
+while the assertions pin the round counts to the closed forms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import BoundedDegreeEDS, PortOneEDS, RegularOddEDS
+from repro.experiments.sweeps import (
+    format_round_complexity,
+    round_complexity_sweep,
+)
+from repro.generators import random_regular
+from repro.runtime import run_anonymous
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("n", (16, 64, 256))
+def test_port_one_constant_rounds(benchmark, n):
+    graph = random_regular(4, n, seed=n)
+    result = benchmark(run_anonymous, graph, PortOneEDS)
+    assert result.rounds == 1
+
+
+@pytest.mark.parametrize("d", (3, 5, 7))
+def test_regular_odd_quadratic_rounds(benchmark, d):
+    graph = random_regular(d, 4 * d + 4, seed=d)
+    result = benchmark.pedantic(
+        run_anonymous, args=(graph, RegularOddEDS), rounds=2, iterations=1
+    )
+    assert result.rounds == 2 + 2 * d * d
+
+
+@pytest.mark.parametrize("delta", (3, 5, 7))
+def test_bounded_quadratic_rounds(benchmark, delta):
+    graph = random_regular(delta, 4 * delta + 4, seed=delta)
+    factory = BoundedDegreeEDS(delta)
+    result = benchmark.pedantic(
+        run_anonymous, args=(graph, factory), rounds=2, iterations=1
+    )
+    assert result.rounds == factory.total_rounds()
+
+
+@pytest.mark.parametrize("n", (16, 64, 256))
+def test_rounds_independent_of_size(benchmark, n):
+    """The local-algorithm claim: same rounds at any n (wall-clock grows,
+    round count does not)."""
+    graph = random_regular(3, n, seed=n)
+    result = benchmark.pedantic(
+        run_anonymous, args=(graph, RegularOddEDS), rounds=2, iterations=1
+    )
+    assert result.rounds == RegularOddEDS.total_rounds(3)
+
+
+def test_print_sweep(benchmark):
+    rows = benchmark.pedantic(
+        round_complexity_sweep,
+        kwargs={"odd_degrees": (1, 3, 5, 7), "sizes": (16, 32, 64)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_round_complexity(rows))
+    assert all(r.matches_prediction for r in rows)

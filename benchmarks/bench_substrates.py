@@ -1,0 +1,57 @@
+"""E15 — substrate performance: the building blocks under the paper.
+
+Times Petersen 2-factorisation, our Hopcroft-Karp, the exact solvers,
+and raw simulator throughput, each with its correctness assertion.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import PortOneEDS
+from repro.factorization import is_two_factor, two_factorise_nx
+from repro.generators import random_regular
+from repro.matching import (
+    is_maximal_matching,
+    maximum_bipartite_matching,
+    minimum_maximal_matching,
+)
+from repro.portgraph import from_networkx
+from repro.runtime import run_anonymous
+
+
+@pytest.mark.parametrize("d,n", [(4, 20), (6, 30), (8, 40)])
+def test_two_factorisation(benchmark, d, n):
+    graph = nx.random_regular_graph(d, n, seed=n)
+    factors = benchmark(two_factorise_nx, graph)
+    assert len(factors) == d // 2
+    assert all(is_two_factor(f, graph.nodes) for f in factors)
+
+
+@pytest.mark.parametrize("size", (50, 200))
+def test_hopcroft_karp(benchmark, size):
+    graph = nx.bipartite.random_graph(size, size, 0.1, seed=size)
+    left = [v for v, d in graph.nodes(data=True) if d["bipartite"] == 0]
+    adjacency = {v: sorted(graph.neighbors(v)) for v in left}
+    ours = benchmark(maximum_bipartite_matching, adjacency)
+    theirs = nx.bipartite.maximum_matching(graph, top_nodes=left)
+    assert len(ours) == len(theirs) // 2
+
+
+@pytest.mark.parametrize("n", (8, 12, 16))
+def test_exact_minimum_maximal_matching(benchmark, n):
+    graph = from_networkx(nx.random_regular_graph(3, n, seed=n))
+    result = benchmark.pedantic(
+        minimum_maximal_matching, args=(graph,), rounds=2, iterations=1
+    )
+    assert is_maximal_matching(graph, result)
+
+
+@pytest.mark.parametrize("n", (100, 400))
+def test_simulator_throughput(benchmark, n):
+    """One full round over n nodes of degree 4 (message fan-out 4n)."""
+    graph = random_regular(4, n, seed=n)
+    result = benchmark(run_anonymous, graph, PortOneEDS)
+    assert result.rounds == 1
+    assert len(result.edge_set()) <= n

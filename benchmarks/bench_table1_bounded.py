@@ -1,0 +1,51 @@
+"""E3 — Table 1, bounded-degree rows: Theorem 5 vs Corollary 1.
+
+For Δ ∈ {2k, 2k+1}, runs A(Δ) on the Theorem 1 construction with d = 2k
+(the instance behind Corollary 1); the measured ratio must be exactly
+``4 - 1/k`` for both parities.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import BoundedDegreeEDS
+from repro.eds import bounded_degree_ratio
+from repro.experiments.table1 import format_table1, reproduce_table1
+from repro.lowerbounds import build_even_lower_bound, run_adversary
+
+from conftest import emit
+
+KS = (1, 2, 3, 4, 5)
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("parity", (0, 1))
+def test_bounded_row(benchmark, k, parity):
+    delta = 2 * k + parity
+    instance = build_even_lower_bound(2 * k)
+
+    report = benchmark.pedantic(
+        run_adversary,
+        args=(instance, BoundedDegreeEDS(delta)),
+        rounds=2,
+        iterations=1,
+    )
+
+    assert report.feasible
+    assert report.fibres_uniform
+    assert report.ratio == bounded_degree_ratio(delta)
+    assert report.ratio == Fraction(4) - Fraction(1, k)
+
+
+def test_print_bounded_rows(benchmark):
+    rows = benchmark.pedantic(
+        reproduce_table1,
+        kwargs={"even_degrees": (), "odd_degrees": (), "ks": KS},
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_table1(rows))
+    assert all(r.tight for r in rows)

@@ -1,0 +1,13 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark asserts the paper-facing correctness property of the
+workload it times, so ``pytest benchmarks/ --benchmark-only`` doubles as
+an end-to-end reproduction run.  Run with ``-s`` to see the regenerated
+tables on stdout; EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+def emit(text: str) -> None:
+    """Print a regenerated table (visible with pytest -s)."""
+    print("\n" + text + "\n")

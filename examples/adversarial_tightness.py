@@ -1,0 +1,86 @@
+"""The heart of the paper: why 4 - 2/d (and friends) cannot be beaten.
+
+This example builds the adversarial graphs of Theorems 1 and 2, runs the
+matching algorithms of Theorems 3 and 4 on them, and shows the two-sided
+squeeze empirically:
+
+* the lower-bound construction *forces* every deterministic anonymous
+  algorithm to a ratio >= the Table 1 entry (via covering-map symmetry);
+* the upper-bound algorithm *guarantees* a ratio <= the same entry;
+* so the measured ratio lands exactly on the bound — for every d.
+
+It also prints the covering-argument observable: all nodes in the same
+fibre of the covering map produce byte-identical outputs, which is why
+the adversary wins.
+
+Run with::
+
+    python examples/adversarial_tightness.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    PortOneEDS,
+    RegularOddEDS,
+    build_even_lower_bound,
+    build_odd_lower_bound,
+    run_adversary,
+)
+from repro.analysis import format_ratio_pair
+
+
+def squeeze_even() -> None:
+    print("Theorem 1 ⊓ Theorem 3 — even degrees, O(1)-time algorithm")
+    for d in (2, 4, 6, 8, 10):
+        instance = build_even_lower_bound(d)
+        report = run_adversary(instance, PortOneEDS)
+        assert report.fibres_uniform, "covering symmetry must hold"
+        assert report.is_tight, "squeeze must land exactly on the bound"
+        print(
+            f"  d={d:2d}: n={instance.graph.num_nodes:3d}  "
+            f"|D|={report.solution_size:3d}  |D*|={instance.optimum_size:2d}  "
+            + format_ratio_pair(instance.forced_ratio, report.ratio)
+        )
+
+
+def squeeze_odd() -> None:
+    print("\nTheorem 2 ⊓ Theorem 4 — odd degrees, O(d²)-time algorithm")
+    for d in (1, 3, 5, 7):
+        instance = build_odd_lower_bound(d)
+        report = run_adversary(instance, RegularOddEDS)
+        assert report.fibres_uniform
+        assert report.is_tight
+        print(
+            f"  d={d:2d}: n={instance.graph.num_nodes:3d}  "
+            f"|D|={report.solution_size:3d}  |D*|={instance.optimum_size:2d}  "
+            + format_ratio_pair(instance.forced_ratio, report.ratio)
+        )
+
+
+def show_fibre_outputs() -> None:
+    print("\nwhy the adversary wins: outputs are constant on covering fibres")
+    instance = build_even_lower_bound(4)
+    from repro import run_anonymous
+
+    result = run_anonymous(instance.graph, PortOneEDS)
+    outputs = {result.outputs[v] for v in instance.graph.nodes}
+    print(
+        f"  d=4 construction: {instance.graph.num_nodes} nodes, "
+        f"{len(outputs)} distinct output(s): "
+        f"{[sorted(o) for o in outputs]}"
+    )
+    print(
+        "  every node picks the same port set, so a non-empty answer "
+        "drags in a whole 2-factor."
+    )
+
+
+def main() -> None:
+    squeeze_even()
+    squeeze_odd()
+    show_fibre_outputs()
+
+
+if __name__ == "__main__":
+    main()

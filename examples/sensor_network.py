@@ -1,0 +1,71 @@
+"""Scenario: link monitoring in an anonymous sensor grid.
+
+A wireless sensor deployment is laid out as an n×m grid; every radio link
+should be observable by a *monitored* link adjacent to it (sharing a
+sensor), so that a monitor sees all traffic passing "next to" it.  The
+smallest such set of monitored links is exactly a minimum edge dominating
+set.
+
+The twist motivating the paper: cheap sensors have no unique hardware
+identifiers — each one only knows how many neighbours it has and can tell
+its own radio interfaces apart (ports 1..deg).  That is precisely the
+port-numbering model, and A(Δ) gives a provably near-optimal monitoring
+set in O(Δ²) communication rounds regardless of how large the field is.
+
+Run with::
+
+    python examples/sensor_network.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BoundedDegreeEDS,
+    GreedyMaximalMatchingIds,
+    is_edge_dominating_set,
+    run_anonymous,
+    run_identified,
+)
+from repro.analysis import measure_ratio
+from repro.generators import grid
+
+
+def monitor_field(rows: int, cols: int) -> None:
+    field = grid(rows, cols, seed=42)
+    delta = field.max_degree  # 4 for interior sensors
+    print(f"\nsensor field {rows}x{cols}: {field.num_nodes} sensors, "
+          f"{field.num_edges} radio links, max degree {delta}")
+
+    # Anonymous deployment: A(Δ) needs only the degree promise.
+    anonymous = run_anonymous(field, BoundedDegreeEDS(delta))
+    monitored = anonymous.edge_set()
+    assert is_edge_dominating_set(field, monitored)
+    report = measure_ratio(field, monitored, exact_edge_limit=40)
+    bound_kind = "optimum" if report.exact else "lower bound"
+    print(f"  anonymous A({delta}):   {len(monitored):3d} monitored links, "
+          f"{anonymous.rounds} rounds; {bound_kind} {report.optimum} "
+          f"-> ratio <= {float(report.ratio):.3f}")
+
+    # What would unique serial numbers buy?  The ID-based greedy maximal
+    # matching is a 2-approximation but needs O(n) rounds in the worst
+    # case and stronger hardware assumptions.
+    identified = run_identified(field, GreedyMaximalMatchingIds)
+    with_ids = identified.edge_set()
+    assert is_edge_dominating_set(field, with_ids)
+    print(f"  with unique IDs:  {len(with_ids):3d} monitored links, "
+          f"{identified.rounds} rounds (greedy maximal matching)")
+
+
+def main() -> None:
+    print("link monitoring = edge dominating set, on anonymous hardware")
+    for rows, cols in ((3, 4), (5, 6), (8, 10)):
+        monitor_field(rows, cols)
+    print(
+        "\nNote how the anonymous algorithm's round count is constant "
+        "across field sizes\n(it depends only on Δ), while the ID-based "
+        "baseline's rounds grow with the field."
+    )
+
+
+if __name__ == "__main__":
+    main()

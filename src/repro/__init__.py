@@ -1,0 +1,153 @@
+"""repro — reproduction of Suomela, "Distributed Algorithms for Edge
+Dominating Sets" (PODC 2010).
+
+The package implements the anonymous port-numbering model of computation,
+a synchronous message-passing simulator, the paper's three tight
+approximation algorithms (Theorems 3-5), both adversarial lower-bound
+constructions (Theorems 1-2), and all supporting substrates (Petersen
+2-factorisation, bipartite matching, exact solvers, covering maps).
+
+Quickstart
+----------
+>>> import networkx as nx
+>>> from repro import from_networkx, BoundedDegreeEDS, run_anonymous
+>>> from repro import is_edge_dominating_set
+>>> g = from_networkx(nx.petersen_graph())
+>>> result = run_anonymous(g, BoundedDegreeEDS(max_degree=3))
+>>> is_edge_dominating_set(g, result.edge_set())
+True
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.algorithms import (
+    BoundedDegreeEDS,
+    DominatingTwoMatching,
+    GreedyMaximalMatchingIds,
+    PortOneEDS,
+    RandomizedMaximalMatching,
+    RegularOddEDS,
+    three_approx_vertex_cover,
+)
+from repro.eds import (
+    bounded_degree_ratio,
+    is_edge_dominating_set,
+    minimum_eds_size,
+    minimum_edge_dominating_set,
+    regular_ratio,
+    two_approx_eds,
+)
+from repro.exceptions import (
+    AlgorithmContractError,
+    ConstructionError,
+    CoveringMapError,
+    FactorizationError,
+    GraphValidationError,
+    InconsistentOutputError,
+    InvolutionError,
+    NotRegularGraphError,
+    NotSimpleGraphError,
+    PortNumberingError,
+    QuotientError,
+    ReproError,
+    RoundLimitExceeded,
+    SimulationError,
+)
+from repro.lowerbounds import (
+    AdversaryReport,
+    LowerBoundInstance,
+    build_even_lower_bound,
+    build_odd_lower_bound,
+    run_adversary,
+)
+from repro.matching import (
+    eds_to_maximal_matching,
+    greedy_maximal_matching,
+    is_matching,
+    is_maximal_matching,
+    minimum_maximal_matching,
+)
+from repro.portgraph import (
+    PortEdge,
+    PortGraphBuilder,
+    PortNumberedGraph,
+    from_networkx,
+    from_neighbour_orders,
+    is_covering_map,
+    quotient_by_partition,
+    random_lift,
+    to_networkx,
+    to_simple_networkx,
+    verify_covering_map,
+)
+from repro.runtime import (
+    NodeProgram,
+    RunResult,
+    run_anonymous,
+    run_identified,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # model
+    "PortNumberedGraph",
+    "PortGraphBuilder",
+    "PortEdge",
+    "from_networkx",
+    "from_neighbour_orders",
+    "to_networkx",
+    "to_simple_networkx",
+    "verify_covering_map",
+    "is_covering_map",
+    "quotient_by_partition",
+    "random_lift",
+    # runtime
+    "NodeProgram",
+    "RunResult",
+    "run_anonymous",
+    "run_identified",
+    # the paper's algorithms (and subroutines / extensions)
+    "PortOneEDS",
+    "RegularOddEDS",
+    "BoundedDegreeEDS",
+    "DominatingTwoMatching",
+    "three_approx_vertex_cover",
+    "GreedyMaximalMatchingIds",
+    "RandomizedMaximalMatching",
+    # EDS / matching substrate
+    "is_edge_dominating_set",
+    "minimum_edge_dominating_set",
+    "minimum_eds_size",
+    "two_approx_eds",
+    "regular_ratio",
+    "bounded_degree_ratio",
+    "is_matching",
+    "is_maximal_matching",
+    "greedy_maximal_matching",
+    "minimum_maximal_matching",
+    "eds_to_maximal_matching",
+    # lower bounds
+    "LowerBoundInstance",
+    "build_even_lower_bound",
+    "build_odd_lower_bound",
+    "run_adversary",
+    "AdversaryReport",
+    # exceptions
+    "ReproError",
+    "GraphValidationError",
+    "InvolutionError",
+    "PortNumberingError",
+    "NotSimpleGraphError",
+    "NotRegularGraphError",
+    "CoveringMapError",
+    "QuotientError",
+    "FactorizationError",
+    "SimulationError",
+    "RoundLimitExceeded",
+    "InconsistentOutputError",
+    "AlgorithmContractError",
+    "ConstructionError",
+]

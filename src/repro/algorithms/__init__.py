@@ -1,0 +1,40 @@
+"""The paper's distributed algorithms and baselines.
+
+* :class:`~repro.algorithms.port_one.PortOneEDS` — Theorem 3, O(1) time,
+  ratio ``4 - 2/d`` on d-regular graphs.
+* :class:`~repro.algorithms.regular_odd.RegularOddEDS` — Theorem 4,
+  O(d²) time, ratio ``4 - 6/(d+1)`` on odd-d-regular graphs.
+* :class:`~repro.algorithms.bounded_degree.BoundedDegreeEDS` — Theorem 5,
+  the family A(Δ), O(Δ²) time, ratio ``4 - 1/⌊Δ/2⌋`` on graphs of maximum
+  degree Δ.
+* :class:`~repro.algorithms.maximal_matching_ids.GreedyMaximalMatchingIds`
+  — identified-model baseline (2-approximation via maximal matching).
+"""
+
+from repro.algorithms.base import LabelAwareProgram, pair_at, pair_schedule_index
+from repro.algorithms.bounded_degree import (
+    BoundedDegreeEDS,
+    run_bounded_with_split,
+)
+from repro.algorithms.double_cover import (
+    DominatingTwoMatching,
+    three_approx_vertex_cover,
+)
+from repro.algorithms.maximal_matching_ids import GreedyMaximalMatchingIds
+from repro.algorithms.port_one import PortOneEDS
+from repro.algorithms.randomized import RandomizedMaximalMatching
+from repro.algorithms.regular_odd import RegularOddEDS
+
+__all__ = [
+    "PortOneEDS",
+    "RegularOddEDS",
+    "BoundedDegreeEDS",
+    "run_bounded_with_split",
+    "DominatingTwoMatching",
+    "three_approx_vertex_cover",
+    "GreedyMaximalMatchingIds",
+    "RandomizedMaximalMatching",
+    "LabelAwareProgram",
+    "pair_at",
+    "pair_schedule_index",
+]

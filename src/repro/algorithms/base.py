@@ -1,0 +1,169 @@
+"""Shared message-passing machinery for the paper's algorithms.
+
+Both Theorem 4 and Theorem 5 begin by computing, at every node, the
+Section 5 data: the label pair of every incident edge, the node's
+distinguishable edge (if any), and for every incident edge the set of
+pairs ``(i, j)`` with ``edge ∈ M(i, j)``.  This takes two rounds:
+
+* round 0 — every node sends ``(port number, degree)`` over every port;
+  afterwards each node knows, per port, the peer's port number (hence
+  every label pair) and the peer's degree (needed by Theorem 5 phase II);
+* round 1 — every node announces over each port whether that edge is its
+  distinguishable edge; afterwards both endpoints of every edge know all
+  of the edge's ``M(i, j)`` memberships.
+
+:class:`LabelAwareProgram` implements these rounds and then delegates to
+the subclass hooks ``algo_send`` / ``algo_receive`` with a rebased round
+counter.  The distributed computation is the message-passing counterpart
+of the centralised :mod:`repro.portgraph.labels`; the test suite checks
+they agree on every graph.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+from repro.exceptions import SimulationError
+from repro.runtime.algorithm import Message, NodeProgram
+
+__all__ = ["LabelAwareProgram", "pair_schedule_index", "pair_at"]
+
+SETUP_ROUNDS = 2
+
+
+def pair_at(step: int, bound: int) -> tuple[int, int]:
+    """The ``step``-th pair of the lexicographic schedule over 1..bound."""
+    if not 0 <= step < bound * bound:
+        raise ValueError(f"step {step} outside 0..{bound * bound - 1}")
+    return (step // bound + 1, step % bound + 1)
+
+
+def pair_schedule_index(i: int, j: int, bound: int) -> int:
+    """Inverse of :func:`pair_at`."""
+    return (i - 1) * bound + (j - 1)
+
+
+class LabelAwareProgram(NodeProgram):
+    """Node program with the Section 5 setup phase built in.
+
+    After the two setup rounds the following attributes are available:
+
+    peer_port:
+        ``peer_port[i] = j`` where ``p(v, i) = (u, j)``.
+    peer_degree:
+        the degree of the neighbour behind each port.
+    distinguishable_port:
+        the port of this node's distinguishable edge, or ``None``
+        (Lemma 1: always set when the degree is odd).
+    m_port_tags:
+        ``m_port_tags[p]`` is the set of pairs ``(i, j)`` such that the
+        edge at port ``p`` belongs to ``M(i, j)``.
+    port_for_pair:
+        inverse lookup; by Lemma 2 each pair selects at most one incident
+        edge, which this mapping exploits (violations raise
+        :class:`SimulationError`, making Lemma 2 an executable invariant).
+    """
+
+    __slots__ = (
+        "peer_port",
+        "peer_degree",
+        "distinguishable_port",
+        "m_port_tags",
+        "port_for_pair",
+    )
+
+    def __init__(self, degree: int) -> None:
+        super().__init__(degree)
+        self.peer_port: dict[int, int] = {}
+        self.peer_degree: dict[int, int] = {}
+        self.distinguishable_port: int | None = None
+        self.m_port_tags: dict[int, frozenset[tuple[int, int]]] = {}
+        self.port_for_pair: dict[tuple[int, int], int] = {}
+
+    # -- subclass hooks --------------------------------------------------
+
+    def algo_send(self, step: int) -> Mapping[int, Message]:
+        """Post-setup sending; *step* counts from 0."""
+        raise NotImplementedError
+
+    def algo_receive(self, step: int, inbox: Mapping[int, Message]) -> None:
+        """Post-setup receiving; *step* counts from 0."""
+        raise NotImplementedError
+
+    def setup_finished(self) -> None:
+        """Called once after round 1's receive; optional subclass hook."""
+
+    # -- the setup protocol ----------------------------------------------
+
+    def send(self, rnd: int) -> Mapping[int, Message]:
+        ports = range(1, self.degree + 1)
+        if rnd == 0:
+            return {i: ("hello", i, self.degree) for i in ports}
+        if rnd == 1:
+            return {
+                i: ("dn", i == self.distinguishable_port) for i in ports
+            }
+        return self.algo_send(rnd - SETUP_ROUNDS)
+
+    def receive(self, rnd: int, inbox: Mapping[int, Message]) -> None:
+        if rnd == 0:
+            self._receive_hello(inbox)
+        elif rnd == 1:
+            self._receive_dn(inbox)
+            self.setup_finished()
+        else:
+            self.algo_receive(rnd - SETUP_ROUNDS, inbox)
+
+    def _receive_hello(self, inbox: Mapping[int, Message]) -> None:
+        if len(inbox) != self.degree:
+            raise SimulationError(
+                f"setup round 0 expected {self.degree} messages, "
+                f"got {len(inbox)}"
+            )
+        for i, payload in inbox.items():
+            tag, j, peer_degree = payload
+            if tag != "hello":
+                raise SimulationError(f"unexpected round-0 payload {payload!r}")
+            self.peer_port[i] = j
+            self.peer_degree[i] = peer_degree
+        self.distinguishable_port = self._compute_distinguishable_port()
+
+    def _compute_distinguishable_port(self) -> int | None:
+        """Port of the min-port uniquely labelled edge (paper Section 5)."""
+        pair_of = {
+            i: frozenset({i, self.peer_port[i]})
+            for i in range(1, self.degree + 1)
+        }
+        multiplicity = Counter(pair_of.values())
+        for i in range(1, self.degree + 1):
+            if multiplicity[pair_of[i]] == 1:
+                return i
+        return None
+
+    def _receive_dn(self, inbox: Mapping[int, Message]) -> None:
+        tags: dict[int, set[tuple[int, int]]] = {
+            i: set() for i in range(1, self.degree + 1)
+        }
+        # Edge at my port p is in M(p, peer_port[p]) when it is my
+        # distinguishable edge ...
+        if self.distinguishable_port is not None:
+            p = self.distinguishable_port
+            tags[p].add((p, self.peer_port[p]))
+        # ... and in M(peer_port[p], p) when the peer declared it.
+        for i, payload in inbox.items():
+            tag, is_peer_dn = payload
+            if tag != "dn":
+                raise SimulationError(f"unexpected round-1 payload {payload!r}")
+            if is_peer_dn:
+                tags[i].add((self.peer_port[i], i))
+
+        self.m_port_tags = {i: frozenset(ts) for i, ts in tags.items()}
+        for port, ts in self.m_port_tags.items():
+            for pair in ts:
+                if pair in self.port_for_pair:
+                    raise SimulationError(
+                        f"Lemma 2 violated: pair {pair} tags two incident "
+                        f"edges (ports {self.port_for_pair[pair]} and {port})"
+                    )
+                self.port_for_pair[pair] = port

@@ -1,0 +1,103 @@
+"""Randomised maximal matching in anonymous networks (Israeli-Itai style).
+
+Deterministic anonymous algorithms cannot even find a maximal matching
+in a symmetric cycle (paper §1.4: classical packing problems "are
+typically unsolvable for trivial reasons"); this module shows that
+private coins dissolve the obstruction.  The protocol is a simplified
+Israeli-Itai round structure:
+
+* *status* — unmatched nodes announce themselves; a node with no
+  unmatched neighbours halts (its incident edges are all dominated).
+* *propose* — each unmatched node flips a fair coin; heads makes it a
+  proposer this phase, and it proposes to a uniformly random unmatched
+  neighbour.  Tails makes it an acceptor.
+* *respond* — acceptors accept one pending proposal (smallest port);
+  proposers never accept, so an accepted proposal matches exactly two
+  nodes.  Matched pairs halt with the shared edge.
+
+In every phase an edge between two unmatched nodes survives with
+constant probability of getting matched at an endpoint, so the protocol
+terminates in O(log n) phases with high probability; the simulator's
+round limit provides the (astronomically unlikely) failure guard.  The
+output is always a maximal matching — hence a 2-approximate EDS — which
+quantifies exactly what the paper's deterministic lower bounds cost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from repro.runtime.algorithm import Message, NodeProgram
+
+__all__ = ["RandomizedMaximalMatching"]
+
+_PHASE_LEN = 3  # status, propose, respond
+
+
+class RandomizedMaximalMatching(NodeProgram):
+    """Anonymous randomised maximal matching.
+
+    Use with :func:`repro.runtime.randomized.run_randomized`::
+
+        run_randomized(graph, RandomizedMaximalMatching, seed=42)
+    """
+
+    def __init__(self, degree: int, rng: random.Random) -> None:
+        super().__init__(degree)
+        self.rng = rng
+        self.alive_ports: list[int] = list(range(1, degree + 1))
+        self.proposed_port: int | None = None
+        self.is_proposer = False
+        self.pending: list[int] = []
+        self.accepted_port: int | None = None
+
+    def send(self, rnd: int) -> Mapping[int, Message]:
+        phase_round = rnd % _PHASE_LEN
+        if phase_round == 0:
+            return {i: ("alive",) for i in range(1, self.degree + 1)}
+        if phase_round == 1:
+            if self.is_proposer and self.proposed_port is not None:
+                return {self.proposed_port: ("prop",)}
+            return {}
+        replies: dict[int, Message] = {}
+        if self.pending:
+            if not self.is_proposer:
+                self.pending.sort()
+                self.accepted_port = self.pending[0]
+                replies[self.accepted_port] = ("acc",)
+                losers = self.pending[1:]
+            else:
+                losers = self.pending
+            for port in losers:
+                replies[port] = ("rej",)
+        return replies
+
+    def receive(self, rnd: int, inbox: Mapping[int, Message]) -> None:
+        phase_round = rnd % _PHASE_LEN
+        if phase_round == 0:
+            self.alive_ports = sorted(
+                i for i, msg in inbox.items() if msg == ("alive",)
+            )
+            if not self.alive_ports:
+                self.halt(frozenset())
+                return
+            self.is_proposer = self.rng.random() < 0.5
+            self.proposed_port = (
+                self.rng.choice(self.alive_ports) if self.is_proposer else None
+            )
+            self.pending = []
+            self.accepted_port = None
+        elif phase_round == 1:
+            self.pending = [
+                i for i, msg in inbox.items() if msg == ("prop",)
+            ]
+        else:
+            if self.accepted_port is not None:
+                self.halt({self.accepted_port})
+                return
+            if (
+                self.proposed_port is not None
+                and inbox.get(self.proposed_port) == ("acc",)
+            ):
+                self.halt({self.proposed_port})

@@ -1,0 +1,41 @@
+"""Analysis layer: ratio measurement, the §7 cost certificate,
+centralised references, experiment running and report formatting."""
+
+from repro.analysis.costs import CostCertificate, compute_cost_certificate
+from repro.analysis.messages import MessageProfile, profile_messages
+from repro.analysis.ratio import RatioReport, measure_ratio
+from repro.analysis.reference import (
+    bounded_degree_reference,
+    port_one_reference,
+    regular_odd_reference,
+)
+from repro.analysis.report import (
+    format_fraction,
+    format_ratio_pair,
+    format_table,
+)
+from repro.analysis.runner import (
+    AlgorithmSpec,
+    ExperimentRow,
+    run_on,
+    standard_algorithms,
+)
+
+__all__ = [
+    "RatioReport",
+    "measure_ratio",
+    "CostCertificate",
+    "compute_cost_certificate",
+    "MessageProfile",
+    "profile_messages",
+    "port_one_reference",
+    "regular_odd_reference",
+    "bounded_degree_reference",
+    "AlgorithmSpec",
+    "ExperimentRow",
+    "run_on",
+    "standard_algorithms",
+    "format_table",
+    "format_fraction",
+    "format_ratio_pair",
+]

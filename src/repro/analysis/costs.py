@@ -1,0 +1,162 @@
+"""Executable version of the Section 7 cost/weight certificate.
+
+The proof of Theorem 5 bounds |D| against any maximal matching D* by a
+double-counting argument: internal nodes (covered by D*) receive costs
+``c(v) ∈ {0, 1/2, 1, 3/2, 2}`` summing to |D|, edges receive weights
+whose sum W is non-negative, and per-node weight bounds as a function of
+c(v) force the histogram inequality
+
+    2·I4 <= (Δ-3)·I3 + (2Δ-4)·I2 + (2Δ-2)·I1 + (2Δ-2)·I0
+
+where ``I_x`` counts internal nodes of cost ``x/2``.  From it the ratio
+``|D| / |D*| <= 4 - 2/(Δ-1)`` follows by algebra.
+
+This module computes the costs, the histogram, and the certificate chain
+for an *actual run* of the algorithm, turning the proof into a checkable
+artifact (experiment E11, Figure 9's anatomy).  The histogram inequality
+is implied by the weight argument whenever D was produced by a correct
+A(Δ) run; tests assert it on random graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Mapping
+
+from repro.exceptions import AlgorithmContractError
+from repro.matching.properties import covered_nodes, is_maximal_matching
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Node, PortEdge
+
+__all__ = ["CostCertificate", "compute_cost_certificate"]
+
+
+@dataclass(frozen=True)
+class CostCertificate:
+    """The §7.5-§7.8 accounting for one solution/reference pair.
+
+    ``delta`` is the *algorithm's* odd parameter Δ' (>= 3, >= every node
+    degree) — the quantity the paper's per-cost weight bounds are stated
+    in, not the graph's maximum degree.
+    """
+
+    costs: Mapping[Node, Fraction]
+    histogram: tuple[int, int, int, int, int]  # I0, I1, I2, I3, I4
+    solution_size: int
+    reference_size: int
+    delta: int
+
+    @property
+    def total_cost(self) -> Fraction:
+        return sum(self.costs.values(), Fraction(0))
+
+    @property
+    def histogram_inequality_holds(self) -> bool:
+        """2·I4 <= (Δ-3)·I3 + (2Δ-4)·I2 + (2Δ-2)·I1 + (2Δ-2)·I0."""
+        i0, i1, i2, i3, i4 = self.histogram
+        delta = self.delta
+        rhs = (
+            (delta - 3) * i3
+            + (2 * delta - 4) * i2
+            + (2 * delta - 2) * i1
+            + (2 * delta - 2) * i0
+        )
+        return 2 * i4 <= rhs
+
+    @property
+    def implied_ratio_bound(self) -> Fraction:
+        """|D|/|D*| computed from the histogram (must equal the direct
+        ratio — a self-check of the accounting)."""
+        i0, i1, i2, i3, i4 = self.histogram
+        numerator = 4 * i4 + 3 * i3 + 2 * i2 + i1
+        denominator = i0 + i1 + i2 + i3 + i4
+        if denominator == 0:
+            return Fraction(0)
+        return Fraction(numerator, denominator)
+
+
+def compute_cost_certificate(
+    graph: PortNumberedGraph,
+    solution: Iterable[PortEdge],
+    reference: Iterable[PortEdge],
+    delta: int | None = None,
+) -> CostCertificate:
+    """Compute the §7.5 cost assignment of *solution* against *reference*.
+
+    Parameters
+    ----------
+    graph:
+        The host graph (simple).
+    solution:
+        The edge dominating set D produced by the algorithm.
+    reference:
+        A maximal matching D* (e.g. a minimum one); its covered nodes are
+        the *internal* nodes.
+    delta:
+        The algorithm's odd parameter Δ' (§7 assumes Δ = 2k + 1 >= 3 and
+        every degree <= Δ).  Defaults to the graph's maximum degree
+        rounded up to an odd number >= 3.
+
+    Cost assignment (§7.5): for each edge of D joining an internal node
+    to an external node, the internal endpoint pays 1; for each edge of D
+    joining two internal nodes, both pay 1/2.  Every edge of D has at
+    least one internal endpoint (D* is maximal), so the total cost is
+    exactly |D| — verified here.
+    """
+    graph.require_simple()
+    if delta is None:
+        delta = max(graph.max_degree, 3)
+        if delta % 2 == 0:
+            delta += 1
+    if delta < 3 or delta % 2 == 0 or delta < graph.max_degree:
+        raise AlgorithmContractError(
+            f"delta must be odd, >= 3 and >= the maximum degree; got "
+            f"{delta} for a graph of max degree {graph.max_degree}"
+        )
+    d_edges = frozenset(solution)
+    ref_edges = frozenset(reference)
+    if not is_maximal_matching(graph, ref_edges):
+        raise AlgorithmContractError(
+            "the reference D* must be a maximal matching (§7.4)"
+        )
+
+    internal = covered_nodes(ref_edges)
+    costs: dict[Node, Fraction] = {v: Fraction(0) for v in internal}
+    for e in d_edges:
+        u_internal = e.u in internal
+        v_internal = e.v in internal
+        if u_internal and v_internal:
+            costs[e.u] += Fraction(1, 2)
+            costs[e.v] += Fraction(1, 2)
+        elif u_internal:
+            costs[e.u] += 1
+        elif v_internal:
+            costs[e.v] += 1
+        else:
+            raise AlgorithmContractError(
+                f"edge {e!r} of D has two external endpoints — "
+                "then D* would not be maximal"
+            )
+
+    histogram = [0, 0, 0, 0, 0]
+    for v, cost in costs.items():
+        doubled = cost * 2
+        if doubled.denominator != 1 or not 0 <= doubled <= 4:
+            raise AlgorithmContractError(
+                f"cost c({v!r}) = {cost} outside {{0, 1/2, 1, 3/2, 2}}"
+            )
+        histogram[int(doubled)] += 1
+
+    certificate = CostCertificate(
+        costs=costs,
+        histogram=tuple(histogram),
+        solution_size=len(d_edges),
+        reference_size=len(ref_edges),
+        delta=delta,
+    )
+    if certificate.total_cost != len(d_edges):
+        raise AlgorithmContractError(
+            "accounting failure: total cost must equal |D|"
+        )
+    return certificate

@@ -1,0 +1,75 @@
+"""Approximation-ratio measurement against exact or bounded optima.
+
+Small instances are compared against the exact branch-and-bound optimum;
+larger ones fall back to the poly-time lower bound of
+:func:`repro.eds.bounds.eds_lower_bound` (the reported ratio is then an
+upper estimate of the true ratio, flagged as such).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable
+
+from repro.eds.bounds import eds_lower_bound
+from repro.eds.exact import minimum_eds_size
+from repro.eds.properties import is_edge_dominating_set
+from repro.exceptions import AlgorithmContractError
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import PortEdge
+
+__all__ = ["RatioReport", "measure_ratio"]
+
+#: Above this edge count the exact solver is skipped by default.
+EXACT_EDGE_LIMIT = 48
+
+
+@dataclass(frozen=True)
+class RatioReport:
+    """Measured quality of one solution."""
+
+    solution_size: int
+    optimum: int
+    ratio: Fraction
+    exact: bool  # True: optimum is exact; False: optimum is a lower bound
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        marker = "" if self.exact else " (vs lower bound)"
+        return (
+            f"|D| = {self.solution_size}, opt {'=' if self.exact else '>='}"
+            f" {self.optimum}, ratio <= {float(self.ratio):.4f}{marker}"
+        )
+
+
+def measure_ratio(
+    graph: PortNumberedGraph,
+    solution: Iterable[PortEdge],
+    *,
+    exact_edge_limit: int = EXACT_EDGE_LIMIT,
+    known_optimum: int | None = None,
+) -> RatioReport:
+    """Measure |D| / opt for a feasible solution *D*.
+
+    Raises
+    ------
+    AlgorithmContractError
+        If *solution* is not an edge dominating set of *graph*.
+    """
+    edge_set = frozenset(solution)
+    if not is_edge_dominating_set(graph, edge_set):
+        raise AlgorithmContractError("solution is not an EDS")
+    size = len(edge_set)
+
+    if known_optimum is not None:
+        optimum, exact = known_optimum, True
+    elif graph.num_edges <= exact_edge_limit:
+        optimum, exact = minimum_eds_size(graph), True
+    else:
+        optimum, exact = eds_lower_bound(graph), False
+
+    if optimum == 0:
+        ratio = Fraction(1)
+    else:
+        ratio = Fraction(size, optimum)
+    return RatioReport(size, optimum, ratio, exact)

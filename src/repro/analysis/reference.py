@@ -1,0 +1,221 @@
+"""Centralised reference implementations of the paper's algorithms.
+
+These recompute, without any message passing, exactly what the
+distributed programs compute.  They serve two purposes:
+
+* differential testing — the simulator-run output must equal the
+  reference output on every graph (the strongest correctness check after
+  the lower-bound tightness tests);
+* phase snapshots — the figure reproductions (Figure 8) show the state
+  after phase I and phase II separately, which the distributed programs
+  do not expose.
+
+Within one pair step the edges of ``M(i, j)`` are node-disjoint
+(Lemma 2), so processing them "in parallel" (paper) and sequentially
+(here) coincide.
+"""
+
+from __future__ import annotations
+
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.labels import matching_m
+from repro.portgraph.ports import Node, PortEdge
+
+__all__ = [
+    "regular_odd_reference",
+    "port_one_reference",
+    "bounded_degree_reference",
+]
+
+
+def port_one_reference(graph: PortNumberedGraph) -> frozenset[PortEdge]:
+    """Theorem 3 centrally: all edges incident to a port numbered 1."""
+    return frozenset(e for e in graph.edges if 1 in (e.i, e.j))
+
+
+def regular_odd_reference(
+    graph: PortNumberedGraph,
+) -> tuple[frozenset[PortEdge], frozenset[PortEdge]]:
+    """Theorem 4 centrally: returns (D after phase I, final D).
+
+    The pair schedule is the same lexicographic order the distributed
+    program uses.  Works on any simple graph; the edge-cover guarantee
+    only holds when every node has odd degree (e.g. odd-regular graphs).
+    """
+    graph.require_simple()
+    d = graph.max_degree
+
+    selected: set[PortEdge] = set()
+    covered: set[Node] = set()
+
+    # Phase I: add unless both endpoints are covered.
+    for i in range(1, d + 1):
+        for j in range(1, d + 1):
+            for e in sorted(
+                matching_m(graph, i, j), key=lambda e: (repr(e.u), e.i)
+            ):
+                if e.u in covered and e.v in covered:
+                    continue
+                selected.add(e)
+                covered.add(e.u)
+                covered.add(e.v)
+    after_phase1 = frozenset(selected)
+
+    # Phase II: remove when both endpoints stay covered without the edge.
+    def covered_without(node: Node, e: PortEdge) -> bool:
+        return any(
+            node in other.endpoints for other in selected if other != e
+        )
+
+    for i in range(1, d + 1):
+        for j in range(1, d + 1):
+            for e in sorted(
+                matching_m(graph, i, j), key=lambda e: (repr(e.u), e.i)
+            ):
+                if e not in selected:
+                    continue
+                if covered_without(e.u, e) and covered_without(e.v, e):
+                    selected.discard(e)
+
+    return after_phase1, frozenset(selected)
+
+
+def bounded_degree_reference(
+    graph: PortNumberedGraph, max_degree: int
+) -> tuple[frozenset[PortEdge], frozenset[PortEdge]]:
+    """Theorem 5 centrally: returns the pair ``(M, P)``.
+
+    A faithful sequential re-enactment of the distributed A(Δ) protocol,
+    including all tie-breaking (lexicographic pair order in phase I,
+    ascending-port proposal queues and smallest-arrival-port acceptance
+    in phases II-III).  The simulator run must produce exactly the same
+    split — asserted by the differential tests.
+
+    Only defined for ``max_degree >= 2`` (A(1) has no M/P structure).
+    """
+    from repro.exceptions import AlgorithmContractError
+
+    if max_degree < 2:
+        raise AlgorithmContractError(
+            "bounded_degree_reference requires max_degree >= 2"
+        )
+    graph.require_simple()
+    delta = max_degree + (1 if max_degree % 2 == 0 else 0)
+
+    m_port: dict[Node, int | None] = {v: None for v in graph.nodes}
+
+    def covered(v: Node) -> bool:
+        return m_port[v] is not None
+
+    # ---- phase I: matching over the M(i, j) pairs -----------------------
+    for i in range(1, delta + 1):
+        for j in range(1, delta + 1):
+            for e in sorted(
+                matching_m(graph, i, j), key=lambda e: (repr(e.u), e.i)
+            ):
+                if not covered(e.u) and not covered(e.v):
+                    m_port[e.u] = e.port_at(e.u)
+                    m_port[e.v] = e.port_at(e.v)
+
+    # ---- phase II: degree-stratified proposal matchings ------------------
+    for stage in range(2, delta + 1):
+        covered_at_start = {v: covered(v) for v in graph.nodes}
+        queue: dict[Node, list[int]] = {}
+        index: dict[Node, int] = {}
+        for v in graph.nodes:
+            if graph.degree(v) == stage and not covered_at_start[v]:
+                queue[v] = [
+                    p
+                    for p in graph.ports(v)
+                    if graph.degree(graph.neighbour(v, p)) < stage
+                    and not covered_at_start[graph.neighbour(v, p)]
+                ]
+                index[v] = 0
+        accepted_this_stage: set[Node] = set()
+
+        for _cycle in range(stage):
+            # proposals land at the white's port
+            arrivals: dict[Node, list[tuple[int, Node, int]]] = {}
+            for black in sorted(queue, key=repr):
+                if covered(black) or index[black] >= len(queue[black]):
+                    continue
+                p = queue[black][index[black]]
+                white, arrival_port = graph.connection(black, p)
+                arrivals.setdefault(white, []).append(
+                    (arrival_port, black, p)
+                )
+            for white, proposals in arrivals.items():
+                proposals.sort()
+                eligible = (
+                    not covered(white) and white not in accepted_this_stage
+                )
+                if eligible:
+                    arrival_port, black, p = proposals[0]
+                    m_port[white] = arrival_port
+                    m_port[black] = p
+                    accepted_this_stage.add(white)
+                    losers = proposals[1:]
+                else:
+                    losers = proposals
+                for _, black, _ in losers:
+                    index[black] += 1
+
+    # ---- phase III: dominating 2-matching via the double cover -----------
+    covered_final = {v: covered(v) for v in graph.nodes}
+    h_queue: dict[Node, list[int]] = {}
+    h_index: dict[Node, int] = {}
+    out_done: dict[Node, bool] = {}
+    accepted_in: set[Node] = set()
+    p_ports: dict[Node, set[int]] = {v: set() for v in graph.nodes}
+    for v in graph.nodes:
+        if covered_final[v]:
+            out_done[v] = True
+            h_queue[v] = []
+            continue
+        h_queue[v] = [
+            p
+            for p in graph.ports(v)
+            if not covered_final[graph.neighbour(v, p)]
+        ]
+        h_index[v] = 0
+        out_done[v] = not h_queue[v]
+
+    for _cycle in range(delta):
+        arrivals = {}
+        for proposer in sorted(h_queue, key=repr):
+            if out_done[proposer] or h_index.get(proposer, 0) >= len(
+                h_queue[proposer]
+            ):
+                continue
+            p = h_queue[proposer][h_index[proposer]]
+            target, arrival_port = graph.connection(proposer, p)
+            arrivals.setdefault(target, []).append(
+                (arrival_port, proposer, p)
+            )
+        for target, proposals in arrivals.items():
+            proposals.sort()
+            if target not in accepted_in:
+                arrival_port, proposer, p = proposals[0]
+                p_ports[target].add(arrival_port)
+                p_ports[proposer].add(p)
+                accepted_in.add(target)
+                out_done[proposer] = True
+                losers = proposals[1:]
+            else:
+                losers = proposals
+            for _, proposer, _ in losers:
+                h_index[proposer] += 1
+                if h_index[proposer] >= len(h_queue[proposer]):
+                    out_done[proposer] = True
+
+    m_edges = frozenset(
+        graph.edge_at(v, port)
+        for v, port in m_port.items()
+        if port is not None
+    )
+    p_edges = frozenset(
+        graph.edge_at(v, port)
+        for v, ports in p_ports.items()
+        for port in ports
+    )
+    return m_edges, p_edges

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for experiment results.
+
+No third-party dependencies: the harness prints aligned monospace tables
+that mirror the paper's Table 1 layout and the per-figure reports.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_fraction", "format_ratio_pair"]
+
+
+def format_fraction(value: Fraction, digits: int = 4) -> str:
+    """Render a fraction as both exact and decimal, e.g. ``7/2 (3.5000)``."""
+    if value.denominator == 1:
+        return f"{value.numerator} ({float(value):.{digits}f})"
+    return f"{value.numerator}/{value.denominator} ({float(value):.{digits}f})"
+
+
+def format_ratio_pair(expected: Fraction, measured: Fraction) -> str:
+    """Render an expected-vs-measured ratio comparison with a verdict."""
+    verdict = "TIGHT" if expected == measured else (
+        "below" if measured < expected else "ABOVE-BOUND!"
+    )
+    return (
+        f"paper {format_fraction(expected)} | "
+        f"measured {format_fraction(measured)} | {verdict}"
+    )
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table."""
+    materialised = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[k]) for k, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(row) for row in materialised)
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Experiment runner: algorithms × graphs → measured rows.
+
+A thin orchestration layer shared by the CLI, the examples, and the
+benchmark harness.  An *algorithm spec* couples a display name with a
+callable running it on a port-numbered graph and returning the selected
+edge set plus the round count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable
+
+from repro.algorithms.bounded_degree import BoundedDegreeEDS
+from repro.algorithms.maximal_matching_ids import GreedyMaximalMatchingIds
+from repro.algorithms.port_one import PortOneEDS
+from repro.algorithms.regular_odd import RegularOddEDS
+from repro.analysis.ratio import RatioReport, measure_ratio
+from repro.eds.greedy import two_approx_eds
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import PortEdge
+from repro.runtime.scheduler import run_anonymous, run_identified
+
+__all__ = ["AlgorithmSpec", "ExperimentRow", "run_on", "standard_algorithms"]
+
+Runner = Callable[[PortNumberedGraph], tuple[frozenset[PortEdge], int]]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named, runnable algorithm."""
+
+    name: str
+    run: Runner
+    model: str  # "anonymous" | "identified" | "central"
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One (algorithm, graph) measurement."""
+
+    algorithm: str
+    graph_label: str
+    num_nodes: int
+    num_edges: int
+    max_degree: int
+    solution_size: int
+    optimum: int
+    optimum_exact: bool
+    ratio: Fraction
+    rounds: int
+
+    @property
+    def ratio_float(self) -> float:
+        return float(self.ratio)
+
+
+def _port_one(graph: PortNumberedGraph):
+    result = run_anonymous(graph, PortOneEDS)
+    return result.edge_set(), result.rounds
+
+
+def _regular_odd(graph: PortNumberedGraph):
+    result = run_anonymous(graph, RegularOddEDS)
+    return result.edge_set(), result.rounds
+
+
+def _bounded(graph: PortNumberedGraph):
+    result = run_anonymous(graph, BoundedDegreeEDS(max(graph.max_degree, 1)))
+    return result.edge_set(), result.rounds
+
+
+def _ids_greedy(graph: PortNumberedGraph):
+    result = run_identified(graph, GreedyMaximalMatchingIds)
+    return result.edge_set(), result.rounds
+
+
+def _central_greedy(graph: PortNumberedGraph):
+    return two_approx_eds(graph), 0
+
+
+def standard_algorithms() -> dict[str, AlgorithmSpec]:
+    """The algorithms the harness compares.
+
+    ``port_one`` and ``regular_odd`` are only *guaranteed* on regular
+    graphs of the right parity; the runner executes whatever it is given
+    and feasibility is checked downstream.
+    """
+    return {
+        "port_one": AlgorithmSpec("port_one", _port_one, "anonymous"),
+        "regular_odd": AlgorithmSpec("regular_odd", _regular_odd, "anonymous"),
+        "bounded_degree": AlgorithmSpec(
+            "bounded_degree", _bounded, "anonymous"
+        ),
+        "ids_greedy": AlgorithmSpec("ids_greedy", _ids_greedy, "identified"),
+        "central_greedy": AlgorithmSpec(
+            "central_greedy", _central_greedy, "central"
+        ),
+    }
+
+
+def run_on(
+    spec: AlgorithmSpec,
+    graph: PortNumberedGraph,
+    *,
+    graph_label: str = "",
+    known_optimum: int | None = None,
+    exact_edge_limit: int = 48,
+) -> ExperimentRow:
+    """Run one algorithm on one graph and measure the ratio."""
+    edge_set, rounds = spec.run(graph)
+    report: RatioReport = measure_ratio(
+        graph,
+        edge_set,
+        known_optimum=known_optimum,
+        exact_edge_limit=exact_edge_limit,
+    )
+    return ExperimentRow(
+        algorithm=spec.name,
+        graph_label=graph_label or f"n={graph.num_nodes}",
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree,
+        solution_size=report.solution_size,
+        optimum=report.optimum,
+        optimum_exact=report.exact,
+        ratio=report.ratio,
+        rounds=rounds,
+    )

@@ -1,0 +1,263 @@
+"""Command-line interface for the reproduction harness.
+
+Examples
+--------
+::
+
+    repro-eds table1
+    repro-eds figure 4
+    repro-eds figure all
+    repro-eds rounds --degrees 1,3,5,7 --sizes 16,32,64
+    repro-eds average --instances 3
+    repro-eds ablation
+    repro-eds demo --family regular -d 3 -n 16 --algorithm regular_odd
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.report import format_table
+from repro.analysis.runner import run_on, standard_algorithms
+from repro.experiments.ablation import format_ablations, run_ablations
+from repro.experiments.figures import all_figures
+from repro.experiments.sweeps import (
+    average_case_sweep,
+    format_average_case,
+    format_round_complexity,
+    round_complexity_sweep,
+)
+from repro.experiments.table1 import format_table1, reproduce_table1
+from repro.generators.bounded import grid, random_bounded_degree
+from repro.generators.regular import cycle, random_regular
+
+__all__ = ["main", "build_parser"]
+
+
+def _int_list(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eds",
+        description=(
+            "Reproduction of Suomela, 'Distributed Algorithms for Edge "
+            "Dominating Sets' (PODC 2010)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t1 = sub.add_parser("table1", help="reproduce Table 1 (E1-E3)")
+    t1.add_argument("--even", type=_int_list, default=(2, 4, 6, 8, 10, 12))
+    t1.add_argument("--odd", type=_int_list, default=(1, 3, 5, 7, 9))
+    t1.add_argument("--ks", type=_int_list, default=(1, 2, 3, 4, 5))
+
+    fig = sub.add_parser("figure", help="reproduce a figure (E5-E11)")
+    fig.add_argument("figure_id", choices=[*all_figures().keys(), "all"])
+
+    rounds = sub.add_parser("rounds", help="round-complexity sweep (E4)")
+    rounds.add_argument("--degrees", type=_int_list, default=(1, 3, 5, 7))
+    rounds.add_argument("--sizes", type=_int_list, default=(16, 32, 64))
+
+    avg = sub.add_parser("average", help="average-case sweep (E12)")
+    avg.add_argument("--instances", type=int, default=5)
+    avg.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("ablation", help="ablation studies (E13)")
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the whole reproduction (Table 1, figures, rounds) "
+        "and report a single verdict",
+    )
+    verify.add_argument("--fast", action="store_true",
+                        help="smaller parameter ranges")
+
+    render = sub.add_parser(
+        "render", help="print a lower-bound construction and its quotient"
+    )
+    render.add_argument("construction", choices=["even", "odd"])
+    render.add_argument("-d", type=int, default=4)
+
+    demo = sub.add_parser("demo", help="run one algorithm on one graph")
+    demo.add_argument(
+        "--family",
+        choices=["regular", "cycle", "grid", "bounded"],
+        default="regular",
+    )
+    demo.add_argument("--algorithm", choices=sorted(standard_algorithms()),
+                      default="bounded_degree")
+    demo.add_argument("-n", type=int, default=16)
+    demo.add_argument("-d", type=int, default=3,
+                      help="degree (regular) / max degree (bounded)")
+    demo.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _run_demo(args: argparse.Namespace) -> str:
+    if args.family == "regular":
+        n = args.n + (args.n * args.d) % 2  # a d-regular graph needs n*d even
+        n = max(n, args.d + 1 + (args.d + 1) % 2)
+        graph = random_regular(args.d, n, seed=args.seed)
+        label = f"random {args.d}-regular, n={n}"
+    elif args.family == "cycle":
+        graph = cycle(args.n, seed=args.seed)
+        label = f"cycle, n={args.n}"
+    elif args.family == "grid":
+        side = max(2, int(args.n ** 0.5))
+        graph = grid(side, side, seed=args.seed)
+        label = f"grid {side}x{side}"
+    else:
+        graph = random_bounded_degree(args.n, args.d, seed=args.seed)
+        label = f"random bounded Δ={args.d}, n={args.n}"
+
+    spec = standard_algorithms()[args.algorithm]
+    row = run_on(spec, graph, graph_label=label)
+    return format_table(
+        ["graph", "algorithm", "n", "m", "|D|",
+         "opt" + ("" if row.optimum_exact else " (LB)"), "ratio", "rounds"],
+        [
+            (
+                row.graph_label,
+                row.algorithm,
+                row.num_nodes,
+                row.num_edges,
+                row.solution_size,
+                row.optimum,
+                f"{row.ratio_float:.4f}",
+                row.rounds,
+            )
+        ],
+        title="demo run",
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        rows = reproduce_table1(args.even, args.odd, args.ks)
+        print(format_table1(rows))
+        if not all(r.tight for r in rows):
+            print("ERROR: some rows are not tight", file=sys.stderr)
+            return 1
+    elif args.command == "figure":
+        builders = all_figures()
+        ids = list(builders) if args.figure_id == "all" else [args.figure_id]
+        for fid in ids:
+            artifact = builders[fid]()
+            print(artifact.rendering)
+            print(f"[{artifact.figure_id}] verified claims:")
+            for claim in artifact.checks:
+                print(f"  ✓ {claim}")
+            print()
+    elif args.command == "rounds":
+        rows = round_complexity_sweep(args.degrees, args.sizes)
+        print(format_round_complexity(rows))
+        if not all(r.matches_prediction for r in rows):
+            print("ERROR: round predictions violated", file=sys.stderr)
+            return 1
+    elif args.command == "average":
+        rows = average_case_sweep(instances=args.instances, seed=args.seed)
+        print(format_average_case(rows))
+    elif args.command == "ablation":
+        print(format_ablations(run_ablations()))
+    elif args.command == "verify":
+        return _run_verify(fast=args.fast)
+    elif args.command == "render":
+        print(_run_render(args))
+    elif args.command == "demo":
+        print(_run_demo(args))
+    return 0
+
+
+def _run_verify(*, fast: bool) -> int:
+    """Run every headline check; return 0 only if all pass."""
+    from repro.experiments.figures import all_figures
+
+    failures: list[str] = []
+
+    even = (2, 4) if fast else (2, 4, 6, 8, 10, 12)
+    odd = (1, 3) if fast else (1, 3, 5, 7, 9)
+    ks = (1, 2) if fast else (1, 2, 3, 4, 5)
+    rows = reproduce_table1(even, odd, ks)
+    tight = sum(1 for r in rows if r.tight)
+    print(f"[table1] {tight}/{len(rows)} rows tight")
+    if tight != len(rows):
+        failures.append("table1")
+
+    for fid, builder in sorted(all_figures().items()):
+        try:
+            artifact = builder()
+            print(f"[figure {fid}] {len(artifact.checks)} claims verified")
+        except Exception as exc:  # pragma: no cover - defensive
+            print(f"[figure {fid}] FAILED: {exc}")
+            failures.append(f"figure {fid}")
+
+    sweep = round_complexity_sweep(
+        odd_degrees=(1, 3) if fast else (1, 3, 5, 7),
+        sizes=(12,) if fast else (16, 32, 64),
+    )
+    ok = sum(1 for r in sweep if r.matches_prediction)
+    print(f"[rounds] {ok}/{len(sweep)} round counts match closed forms")
+    if ok != len(sweep):
+        failures.append("rounds")
+
+    from repro.experiments.optimality import recompute_lower_bounds
+
+    bounds = recompute_lower_bounds(
+        even_degrees=(2, 4) if fast else (2, 4, 6, 8),
+        odd_degrees=(1, 3) if fast else (1, 3, 5),
+    )
+    matched = sum(1 for r in bounds if r.matches)
+    print(
+        f"[lower bounds] {matched}/{len(bounds)} recomputed by orbit "
+        f"search match Table 1"
+    )
+    if matched != len(bounds):
+        failures.append("lower bounds")
+
+    if failures:
+        print(f"\nVERDICT: FAILED ({', '.join(failures)})")
+        return 1
+    print("\nVERDICT: all reproduction checks passed")
+    return 0
+
+
+def _run_render(args: argparse.Namespace) -> str:
+    from repro.lowerbounds import build_even_lower_bound, build_odd_lower_bound
+    from repro.portgraph.render import render_edge_set, render_graph
+
+    d = args.d
+    if args.construction == "even":
+        if d % 2:
+            d += 1
+        instance = build_even_lower_bound(d)
+    else:
+        if d % 2 == 0:
+            d += 1
+        instance = build_odd_lower_bound(d)
+
+    parts = [
+        render_graph(
+            instance.graph,
+            title=f"Theorem {'1' if args.construction == 'even' else '2'} "
+            f"construction, d = {d}",
+        ),
+        "",
+        render_edge_set(instance.optimum, title="optimal EDS D*:"),
+        "",
+        render_graph(instance.quotient, title="quotient multigraph M:"),
+        "",
+        f"forced ratio: {instance.forced_ratio} "
+        f"({float(instance.forced_ratio):.4f})",
+    ]
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

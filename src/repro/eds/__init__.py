@@ -1,0 +1,57 @@
+"""Edge dominating set substrate: definitions, exact solvers, bounds."""
+
+from repro.eds.bounds import (
+    bounded_degree_ratio,
+    eds_lower_bound,
+    maximum_matching_size,
+    regular_ratio,
+)
+from repro.eds.exact import (
+    brute_force_minimum_eds_size,
+    minimum_eds_size,
+    minimum_edge_dominating_set,
+)
+from repro.eds.greedy import two_approx_eds
+from repro.eds.linegraph import (
+    is_claw_free,
+    is_dominating_set,
+    is_independent_set,
+    is_maximal_independent_set,
+    line_graph_adjacency,
+)
+from repro.eds.properties import (
+    dominated_edges,
+    dominates,
+    domination_deficiency,
+    is_edge_dominating_set,
+    undominated_edges,
+)
+from repro.eds.weighted import (
+    greedy_weight_eds,
+    minimum_weight_eds,
+    total_weight,
+)
+
+__all__ = [
+    "line_graph_adjacency",
+    "is_claw_free",
+    "is_dominating_set",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "dominates",
+    "dominated_edges",
+    "undominated_edges",
+    "is_edge_dominating_set",
+    "domination_deficiency",
+    "minimum_edge_dominating_set",
+    "minimum_eds_size",
+    "brute_force_minimum_eds_size",
+    "two_approx_eds",
+    "regular_ratio",
+    "bounded_degree_ratio",
+    "maximum_matching_size",
+    "eds_lower_bound",
+    "minimum_weight_eds",
+    "greedy_weight_eds",
+    "total_weight",
+]

@@ -1,0 +1,21 @@
+"""Centralised 2-approximation for minimum edge dominating set.
+
+Paper §1.2: any maximal matching is a 2-approximation of a minimum edge
+dominating set (each optimal edge can "absorb" at most two matching
+edges).  This is the classical sequential baseline against which the
+distributed algorithms are compared.
+"""
+
+from __future__ import annotations
+
+from repro.matching.greedy import greedy_maximal_matching
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import PortEdge
+
+__all__ = ["two_approx_eds"]
+
+
+def two_approx_eds(graph: PortNumberedGraph) -> frozenset[PortEdge]:
+    """A 2-approximate edge dominating set (a greedy maximal matching)."""
+    graph.require_simple()
+    return greedy_maximal_matching(graph)

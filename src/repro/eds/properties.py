@@ -1,0 +1,63 @@
+"""Edge dominating set definitions (paper Sections 1-2).
+
+An edge ``e1`` *dominates* every edge adjacent to it, including itself.
+A set ``D`` of edges is an *edge dominating set* (EDS) when every edge of
+the graph is dominated by some edge of ``D``.  These predicates operate on
+sets of :class:`~repro.portgraph.ports.PortEdge` and are deliberately
+independent of the matching substrate (no import cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Node, PortEdge
+
+__all__ = [
+    "dominates",
+    "dominated_edges",
+    "undominated_edges",
+    "is_edge_dominating_set",
+    "domination_deficiency",
+]
+
+
+def dominates(e1: PortEdge, e2: PortEdge) -> bool:
+    """True when *e1* dominates *e2* (shared endpoint, or identical)."""
+    return bool(e1.endpoints & e2.endpoints)
+
+
+def dominated_edges(
+    graph: PortNumberedGraph, dominating: Iterable[PortEdge]
+) -> frozenset[PortEdge]:
+    """All graph edges dominated by the set *dominating*."""
+    covered: set[Node] = set()
+    chosen: set[PortEdge] = set()
+    for e in dominating:
+        covered |= e.endpoints
+        chosen.add(e)
+    return frozenset(
+        e for e in graph.edges if e in chosen or (e.endpoints & covered)
+    )
+
+
+def undominated_edges(
+    graph: PortNumberedGraph, dominating: Iterable[PortEdge]
+) -> frozenset[PortEdge]:
+    """All graph edges *not* dominated by *dominating*."""
+    return frozenset(graph.edges) - dominated_edges(graph, dominating)
+
+
+def is_edge_dominating_set(
+    graph: PortNumberedGraph, dominating: Iterable[PortEdge]
+) -> bool:
+    """True when every edge of *graph* is dominated (paper §1.1)."""
+    return not undominated_edges(graph, dominating)
+
+
+def domination_deficiency(
+    graph: PortNumberedGraph, dominating: Iterable[PortEdge]
+) -> int:
+    """The number of undominated edges (0 iff *dominating* is an EDS)."""
+    return len(undominated_edges(graph, dominating))

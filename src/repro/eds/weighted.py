@@ -1,0 +1,163 @@
+"""Weighted edge dominating sets (paper §1.2 context).
+
+The paper's §1.2 recalls that *weighted* minimum EDS behaves differently
+from the unweighted problem: the matching/EDS equivalence breaks (a
+minimum-weight EDS need not be a matching), and the best known
+poly-time factor is 2 (Fujito-Nagamochi [12], whose primal-dual LP
+machinery is out of scope here — see DESIGN.md §1.3).  This module
+provides the exact and greedy baselines the evaluation harness needs to
+talk about weighted instances at all:
+
+* :func:`minimum_weight_eds` — exact branch and bound over *arbitrary*
+  edge subsets (not just matchings);
+* :func:`greedy_weight_eds` — a simple feasible heuristic (no guarantee)
+  used as a comparison point in tests;
+* with unit weights the exact solver must agree with the unweighted
+  γ'(G), which the tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.eds.properties import is_edge_dominating_set
+from repro.exceptions import AlgorithmContractError
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Node, PortEdge
+
+__all__ = ["minimum_weight_eds", "greedy_weight_eds", "total_weight"]
+
+Weights = Mapping[PortEdge, float]
+
+_DEFAULT_LIMIT = 2_000_000
+
+
+def total_weight(edges, weights: Weights) -> float:
+    """The summed weight of an edge set."""
+    return sum(weights[e] for e in edges)
+
+
+def _validate_weights(graph: PortNumberedGraph, weights: Weights) -> None:
+    for e in graph.edges:
+        w = weights.get(e)
+        if w is None:
+            raise AlgorithmContractError(f"no weight for edge {e!r}")
+        if w <= 0:
+            raise AlgorithmContractError(
+                f"weights must be positive; edge {e!r} has {w}"
+            )
+
+
+def minimum_weight_eds(
+    graph: PortNumberedGraph,
+    weights: Weights,
+    *,
+    node_limit: int = _DEFAULT_LIMIT,
+) -> frozenset[PortEdge]:
+    """An exact minimum-weight edge dominating set.
+
+    Branch and bound over minimal dominating sets: the first undominated
+    edge must be dominated by one of its closed neighbours, and with
+    positive weights some minimum solution is minimal, so branching over
+    those candidates is exhaustive.  Exponential worst case; intended
+    for the small instances in tests and experiments.
+    """
+    graph.require_simple()
+    _validate_weights(graph, weights)
+    edges = graph.edges
+    if not edges:
+        return frozenset()
+
+    incident: dict[Node, list[PortEdge]] = {v: [] for v in graph.nodes}
+    for e in edges:
+        incident[e.u].append(e)
+        if e.u != e.v:
+            incident[e.v].append(e)
+    candidates: dict[PortEdge, tuple[PortEdge, ...]] = {}
+    for e in edges:
+        seen: dict[PortEdge, None] = {e: None}
+        for endpoint in (e.u, e.v):
+            for other in incident[endpoint]:
+                seen.setdefault(other, None)
+        candidates[e] = tuple(
+            sorted(seen, key=lambda f: (weights[f], repr(f)))
+        )
+
+    greedy = greedy_weight_eds(graph, weights)
+    best: frozenset[PortEdge] = greedy
+    best_weight = total_weight(greedy, weights)
+    explored = 0
+
+    def undominated(covered: set[Node], chosen: set[PortEdge]):
+        for e in edges:
+            if e in chosen:
+                continue
+            if e.u not in covered and e.v not in covered:
+                return e
+        return None
+
+    def recurse(
+        chosen: set[PortEdge], covered: set[Node], weight: float
+    ) -> None:
+        nonlocal best, best_weight, explored
+        explored += 1
+        if explored > node_limit:
+            raise RuntimeError(
+                f"minimum_weight_eds exceeded {node_limit} search nodes"
+            )
+        if weight >= best_weight:
+            return
+        target = undominated(covered, chosen)
+        if target is None:
+            best = frozenset(chosen)
+            best_weight = weight
+            return
+        for f in candidates[target]:
+            if f in chosen:
+                continue
+            chosen.add(f)
+            added_u = f.u not in covered
+            added_v = f.v not in covered
+            covered.add(f.u)
+            covered.add(f.v)
+            recurse(chosen, covered, weight + weights[f])
+            chosen.discard(f)
+            if added_u:
+                covered.discard(f.u)
+            if added_v:
+                covered.discard(f.v)
+
+    recurse(set(), set(), 0.0)
+    assert is_edge_dominating_set(graph, best)
+    return best
+
+
+def greedy_weight_eds(
+    graph: PortNumberedGraph, weights: Weights
+) -> frozenset[PortEdge]:
+    """A feasible weighted heuristic: repeatedly dominate the first
+    undominated edge with the cheapest edge in its closed neighbourhood.
+
+    No approximation guarantee (the §1.2 2-approximation of [12] needs
+    LP machinery); used as a baseline and as the exact solver's initial
+    incumbent.
+    """
+    graph.require_simple()
+    _validate_weights(graph, weights)
+    chosen: set[PortEdge] = set()
+    covered: set[Node] = set()
+    for e in graph.edges:
+        if e in chosen or e.u in covered or e.v in covered:
+            continue
+        cheapest = min(
+            (
+                f
+                for f in graph.edges
+                if f.endpoints & e.endpoints or f == e
+            ),
+            key=lambda f: (weights[f], repr(f)),
+        )
+        chosen.add(cheapest)
+        covered |= cheapest.endpoints
+    assert is_edge_dominating_set(graph, chosen)
+    return frozenset(chosen)

@@ -1,0 +1,49 @@
+"""Experiment drivers reproducing the paper's Table 1 and Figures 1-9,
+plus round-complexity, average-case, and ablation studies."""
+
+from repro.experiments.ablation import (
+    AblationRow,
+    format_ablations,
+    run_ablations,
+)
+from repro.experiments.figures import FigureArtifact, all_figures
+from repro.experiments.messages import (
+    MessageRow,
+    format_messages,
+    message_complexity_sweep,
+)
+from repro.experiments.sweeps import (
+    RoundComplexityRow,
+    average_case_sweep,
+    format_average_case,
+    format_round_complexity,
+    round_complexity_sweep,
+)
+from repro.experiments.optimality import (
+    OptimalityRow,
+    format_optimality,
+    recompute_lower_bounds,
+)
+from repro.experiments.table1 import Table1Row, format_table1, reproduce_table1
+
+__all__ = [
+    "OptimalityRow",
+    "recompute_lower_bounds",
+    "format_optimality",
+    "MessageRow",
+    "message_complexity_sweep",
+    "format_messages",
+    "Table1Row",
+    "reproduce_table1",
+    "format_table1",
+    "FigureArtifact",
+    "all_figures",
+    "RoundComplexityRow",
+    "round_complexity_sweep",
+    "format_round_complexity",
+    "average_case_sweep",
+    "format_average_case",
+    "AblationRow",
+    "run_ablations",
+    "format_ablations",
+]

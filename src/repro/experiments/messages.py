@@ -1,0 +1,104 @@
+"""Experiment E17: message complexity of the three algorithms.
+
+The paper's cost model counts rounds; practitioners also ask how many
+messages cross the network.  This experiment measures total traffic as
+a function of the degree parameter and the graph size, with the
+structural expectations pinned as checks:
+
+* PortOne sends exactly one message per port: total = sum of degrees
+  = 2|E|.
+* The Theorem 4/5 setup rounds broadcast on every port (2 · 2|E|
+  messages); subsequent pair steps touch only the matched ports, so the
+  per-round traffic drops sharply after round 1 — locality in the
+  traffic dimension.
+* Total traffic grows linearly in n for fixed degree (each node's
+  traffic depends only on its radius-O(Δ²) neighbourhood).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.algorithms.bounded_degree import BoundedDegreeEDS
+from repro.algorithms.port_one import PortOneEDS
+from repro.algorithms.regular_odd import RegularOddEDS
+from repro.analysis.messages import profile_messages
+from repro.analysis.report import format_table
+from repro.generators.regular import random_regular
+
+__all__ = ["MessageRow", "message_complexity_sweep", "format_messages"]
+
+
+@dataclass(frozen=True)
+class MessageRow:
+    algorithm: str
+    d: int
+    n: int
+    rounds: int
+    total_messages: int
+    max_round_messages: int
+
+    @property
+    def messages_per_node(self) -> float:
+        return self.total_messages / self.n
+
+
+def message_complexity_sweep(
+    odd_degrees: Sequence[int] = (3, 5),
+    sizes: Sequence[int] = (16, 32, 64),
+    seed: int = 0,
+) -> list[MessageRow]:
+    """Measure traffic for all three algorithms across d and n."""
+    rows: list[MessageRow] = []
+    for d in odd_degrees:
+        for n in sizes:
+            if n <= d or (n * d) % 2:
+                continue
+            graph = random_regular(d, n, seed=seed)
+            sum_degrees = 2 * graph.num_edges
+
+            profile = profile_messages(graph, PortOneEDS)
+            assert profile.total_messages == sum_degrees
+            rows.append(
+                MessageRow("port_one", d, n, profile.rounds,
+                           profile.total_messages,
+                           profile.max_round_messages)
+            )
+
+            profile = profile_messages(graph, RegularOddEDS)
+            assert profile.messages_per_round[0] == sum_degrees
+            assert profile.messages_per_round[1] == sum_degrees
+            rows.append(
+                MessageRow("regular_odd", d, n, profile.rounds,
+                           profile.total_messages,
+                           profile.max_round_messages)
+            )
+
+            profile = profile_messages(graph, BoundedDegreeEDS(d))
+            rows.append(
+                MessageRow("bounded_degree", d, n, profile.rounds,
+                           profile.total_messages,
+                           profile.max_round_messages)
+            )
+    return rows
+
+
+def format_messages(rows: Sequence[MessageRow]) -> str:
+    return format_table(
+        ["algorithm", "d", "n", "rounds", "total msgs", "peak/round",
+         "msgs/node"],
+        [
+            (
+                r.algorithm,
+                r.d,
+                r.n,
+                r.rounds,
+                r.total_messages,
+                r.max_round_messages,
+                f"{r.messages_per_node:.1f}",
+            )
+            for r in rows
+        ],
+        title="E17 — message complexity",
+    )

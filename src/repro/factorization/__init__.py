@@ -1,0 +1,35 @@
+"""Graph factorisation substrate: Euler circuits, Petersen 2-factorisation,
+König 1-factorisation (paper Section 2 and the port numberings of
+Sections 3.2 / 4.1)."""
+
+from repro.factorization.euler import (
+    Arc,
+    MultiEdge,
+    eulerian_circuits,
+    orient_along_euler,
+)
+from repro.factorization.one_factor import (
+    is_one_factor,
+    one_factorise_bipartite,
+    one_factorise_bipartite_nx,
+)
+from repro.factorization.two_factor import (
+    TwoFactor,
+    is_two_factor,
+    two_factorise,
+    two_factorise_nx,
+)
+
+__all__ = [
+    "Arc",
+    "MultiEdge",
+    "eulerian_circuits",
+    "orient_along_euler",
+    "TwoFactor",
+    "two_factorise",
+    "two_factorise_nx",
+    "is_two_factor",
+    "one_factorise_bipartite",
+    "one_factorise_bipartite_nx",
+    "is_one_factor",
+]

@@ -1,0 +1,138 @@
+"""Eulerian circuits on undirected multigraphs (Hierholzer's algorithm).
+
+Substrate for Petersen 2-factorisation (paper Section 2, reference [20]):
+orienting a 2k-regular multigraph along Euler circuits yields a directed
+graph in which every node has in-degree and out-degree exactly ``k``.
+
+Edges are identified by explicit keys so that parallel edges and loops are
+handled correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from repro.exceptions import FactorizationError
+from repro.portgraph.ports import Node
+
+__all__ = ["Arc", "MultiEdge", "eulerian_circuits", "orient_along_euler"]
+
+
+@dataclass(frozen=True)
+class MultiEdge:
+    """An undirected multigraph edge with an identifying key."""
+
+    u: Node
+    v: Node
+    key: Hashable
+
+    @property
+    def is_loop(self) -> bool:
+        return self.u == self.v
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A directed edge (an orientation of a :class:`MultiEdge`)."""
+
+    tail: Node
+    head: Node
+    key: Hashable
+
+
+def eulerian_circuits(
+    nodes: Iterable[Node],
+    edges: Sequence[MultiEdge],
+) -> list[list[Arc]]:
+    """Euler circuits of every connected component with at least one edge.
+
+    Every edge is traversed exactly once over all returned circuits; each
+    circuit is closed (its last head equals its first tail).
+
+    Raises
+    ------
+    FactorizationError
+        If some node has odd degree (loops count 2 towards the degree).
+    """
+    node_list = sorted(set(nodes), key=repr)
+    adjacency: dict[Node, list[tuple[Node, Hashable]]] = {
+        v: [] for v in node_list
+    }
+    degree: dict[Node, int] = {v: 0 for v in node_list}
+    for edge in edges:
+        if edge.u not in adjacency or edge.v not in adjacency:
+            raise FactorizationError(
+                f"edge {edge!r} references a node outside the node set"
+            )
+        adjacency[edge.u].append((edge.v, edge.key))
+        degree[edge.u] += 1
+        degree[edge.v] += 1
+        if not edge.is_loop:
+            adjacency[edge.v].append((edge.u, edge.key))
+        else:
+            adjacency[edge.u].append((edge.u, edge.key))
+
+    odd = [v for v, d in degree.items() if d % 2]
+    if odd:
+        raise FactorizationError(
+            f"Euler circuit requires all degrees even; odd at {odd[:5]!r}"
+        )
+
+    pointer: dict[Node, int] = {v: 0 for v in node_list}
+    used: set[Hashable] = set()
+    circuits: list[list[Arc]] = []
+
+    for start in node_list:
+        if degree[start] == 0:
+            continue
+        if pointer[start] >= len(adjacency[start]):
+            continue
+        # Skip nodes whose incident edges were all consumed by an earlier
+        # circuit of the same component.
+        if all(key in used for _, key in adjacency[start][pointer[start]:]):
+            continue
+
+        stack: list[tuple[Node, Arc | None]] = [(start, None)]
+        circuit_reversed: list[Arc] = []
+        while stack:
+            v, arc_in = stack[-1]
+            advanced = False
+            while pointer[v] < len(adjacency[v]):
+                w, key = adjacency[v][pointer[v]]
+                pointer[v] += 1
+                if key in used:
+                    continue
+                used.add(key)
+                stack.append((w, Arc(v, w, key)))
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                if arc_in is not None:
+                    circuit_reversed.append(arc_in)
+        circuit = list(reversed(circuit_reversed))
+        if circuit:
+            circuits.append(circuit)
+
+    if len(used) != len(edges):
+        # Can only happen if edge keys collide.
+        raise FactorizationError(
+            "not all edges were traversed; are edge keys unique?"
+        )
+    return circuits
+
+
+def orient_along_euler(
+    nodes: Iterable[Node],
+    edges: Sequence[MultiEdge],
+) -> list[Arc]:
+    """Orient every edge along an Euler circuit of its component.
+
+    In the resulting orientation each node's out-degree equals its
+    in-degree (half its undirected degree).
+    """
+    arcs: list[Arc] = []
+    for circuit in eulerian_circuits(nodes, edges):
+        arcs.extend(circuit)
+    return arcs

@@ -1,0 +1,47 @@
+"""Graph family generators used as evaluation workloads."""
+
+from repro.generators.bounded import (
+    caterpillar,
+    grid,
+    path,
+    random_bounded_degree,
+    random_tree,
+    star,
+)
+from repro.generators.regular import (
+    circulant,
+    complete,
+    complete_bipartite,
+    cycle,
+    hypercube,
+    petersen,
+    random_regular,
+    torus,
+)
+from repro.generators.special import (
+    component_h_nx,
+    crown,
+    crown_nx,
+    matching_union,
+)
+
+__all__ = [
+    "random_regular",
+    "cycle",
+    "complete",
+    "complete_bipartite",
+    "circulant",
+    "hypercube",
+    "torus",
+    "petersen",
+    "random_bounded_degree",
+    "path",
+    "grid",
+    "random_tree",
+    "star",
+    "caterpillar",
+    "crown",
+    "crown_nx",
+    "matching_union",
+    "component_h_nx",
+]

@@ -1,0 +1,17 @@
+"""The paper's lower-bound constructions (Theorems 1-2) and the adversary
+driver that confronts algorithms with them."""
+
+from repro.lowerbounds.adversary import AdversaryReport, run_adversary
+from repro.lowerbounds.even import build_even_lower_bound, single_node_quotient
+from repro.lowerbounds.instance import LowerBoundInstance
+from repro.lowerbounds.odd import build_odd_lower_bound, hub_quotient
+
+__all__ = [
+    "LowerBoundInstance",
+    "build_even_lower_bound",
+    "build_odd_lower_bound",
+    "single_node_quotient",
+    "hub_quotient",
+    "run_adversary",
+    "AdversaryReport",
+]

@@ -1,0 +1,61 @@
+"""The common shape of the paper's lower-bound instances.
+
+Both Theorem 1 (even degree) and Theorem 2 (odd degree) produce
+
+* a d-regular port-numbered graph with an adversarial port numbering,
+* its optimal edge dominating set,
+* a small quotient multigraph and the covering map onto it (the engine of
+  the indistinguishability argument of §2.3), and
+* the approximation ratio that any deterministic algorithm is forced to
+  incur on the instance.
+
+:class:`LowerBoundInstance` bundles these together with executable
+verification of every claimed property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping
+
+from repro.eds.properties import is_edge_dominating_set
+from repro.exceptions import ConstructionError
+from repro.portgraph.covering import verify_covering_map
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Node, PortEdge
+
+__all__ = ["LowerBoundInstance"]
+
+
+@dataclass(frozen=True)
+class LowerBoundInstance:
+    """One adversarial instance plus its certificates."""
+
+    family: str
+    d: int
+    graph: PortNumberedGraph
+    optimum: frozenset[PortEdge]
+    quotient: PortNumberedGraph
+    covering_map: Mapping[Node, Node]
+    forced_ratio: Fraction
+
+    def verify(self) -> None:
+        """Re-check every structural claim; raises on any violation."""
+        if self.graph.regularity() != self.d:
+            raise ConstructionError(
+                f"instance is not {self.d}-regular"
+            )
+        if not self.graph.is_simple():
+            raise ConstructionError("instance must be a simple graph")
+        if not is_edge_dominating_set(self.graph, self.optimum):
+            raise ConstructionError("claimed optimum is not an EDS")
+        verify_covering_map(self.graph, self.quotient, self.covering_map)
+
+    @property
+    def optimum_size(self) -> int:
+        return len(self.optimum)
+
+    def ratio_of(self, solution_size: int) -> Fraction:
+        """The approximation ratio of a solution of the given size."""
+        return Fraction(solution_size, self.optimum_size)

@@ -1,0 +1,43 @@
+"""Matching substrate: properties, greedy and exact solvers, bipartite
+maximum matching, and the EDS-to-maximal-matching conversion of
+Yannakakis-Gavril (paper Section 1.1)."""
+
+from repro.matching.bipartite import (
+    is_perfect_matching_of,
+    maximum_bipartite_matching,
+)
+from repro.matching.convert import eds_to_maximal_matching
+from repro.matching.exact import (
+    brute_force_minimum_maximal_matching,
+    minimum_maximal_matching,
+)
+from repro.matching.greedy import greedy_maximal_matching
+from repro.matching.properties import (
+    covered_nodes,
+    degree_in,
+    has_path_of_length_three,
+    is_edge_cover,
+    is_forest,
+    is_k_matching,
+    is_matching,
+    is_maximal_matching,
+    is_star_forest,
+)
+
+__all__ = [
+    "maximum_bipartite_matching",
+    "is_perfect_matching_of",
+    "greedy_maximal_matching",
+    "minimum_maximal_matching",
+    "brute_force_minimum_maximal_matching",
+    "eds_to_maximal_matching",
+    "covered_nodes",
+    "degree_in",
+    "is_matching",
+    "is_k_matching",
+    "is_maximal_matching",
+    "is_edge_cover",
+    "is_forest",
+    "is_star_forest",
+    "has_path_of_length_three",
+]

@@ -1,0 +1,128 @@
+"""Exact minimum maximal matching by branch and bound.
+
+A minimum maximal matching is also a minimum edge dominating set
+(paper §1.1, via Yannakakis-Gavril [25] / Allan-Laskar [1]), so this
+solver doubles as the exact EDS reference for the evaluation harness.
+
+The search maintains a partial matching ``M`` and branches on the first
+edge not yet dominated: any maximal matching extending ``M`` must contain
+one of the compatible edges adjacent to (or equal to) that edge.  When
+every edge is dominated, ``M`` is a maximal matching (nothing can be
+added), so it is a candidate solution.  A greedy maximal matching
+provides the initial upper bound.  Exponential in the worst case —
+intended for the small instances used to validate approximation ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.matching.greedy import greedy_maximal_matching
+from repro.matching.properties import is_maximal_matching
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Node, PortEdge
+
+__all__ = ["minimum_maximal_matching", "brute_force_minimum_maximal_matching"]
+
+_DEFAULT_LIMIT = 2_000_000
+
+
+def minimum_maximal_matching(
+    graph: PortNumberedGraph,
+    *,
+    node_limit: int = _DEFAULT_LIMIT,
+) -> frozenset[PortEdge]:
+    """An exact minimum maximal matching of a simple port-numbered graph.
+
+    Parameters
+    ----------
+    graph:
+        A simple graph.  (Loops/parallel edges would make "matching"
+        ambiguous; the paper's problem is defined on simple graphs.)
+    node_limit:
+        Safety valve on the number of search nodes explored; exceeded
+        limits raise :class:`RuntimeError` rather than silently returning
+        a non-optimal answer.
+    """
+    graph.require_simple()
+    edges: Sequence[PortEdge] = graph.edges
+    if not edges:
+        return frozenset()
+
+    # Precompute, for every edge, the candidate dominators: itself plus all
+    # adjacent edges, deterministically ordered.
+    adjacent: dict[PortEdge, tuple[PortEdge, ...]] = {}
+    incident: dict[Node, list[PortEdge]] = {v: [] for v in graph.nodes}
+    for e in edges:
+        incident[e.u].append(e)
+        if e.u != e.v:
+            incident[e.v].append(e)
+    for e in edges:
+        seen: dict[PortEdge, None] = {e: None}
+        for endpoint in (e.u, e.v):
+            for other in incident[endpoint]:
+                seen.setdefault(other, None)
+        adjacent[e] = tuple(seen)
+
+    best: frozenset[PortEdge] = greedy_maximal_matching(graph)
+    best_size = len(best)
+    explored = 0
+
+    def undominated(covered: set[Node]) -> PortEdge | None:
+        for e in edges:
+            if e.u not in covered and e.v not in covered:
+                return e
+        return None
+
+    def recurse(matching: list[PortEdge], covered: set[Node]) -> None:
+        nonlocal best, best_size, explored
+        explored += 1
+        if explored > node_limit:
+            raise RuntimeError(
+                f"minimum_maximal_matching exceeded {node_limit} search nodes"
+            )
+        target = undominated(covered)
+        if target is None:
+            if len(matching) < best_size:
+                best = frozenset(matching)
+                best_size = len(matching)
+            return
+        if len(matching) + 1 >= best_size:
+            return  # adding any edge cannot beat the incumbent
+        for f in adjacent[target]:
+            if f.u in covered or f.v in covered:
+                continue
+            matching.append(f)
+            covered.add(f.u)
+            covered.add(f.v)
+            recurse(matching, covered)
+            matching.pop()
+            covered.discard(f.u)
+            covered.discard(f.v)
+
+    recurse([], set())
+    assert is_maximal_matching(graph, best)
+    return best
+
+
+def brute_force_minimum_maximal_matching(
+    graph: PortNumberedGraph,
+) -> frozenset[PortEdge]:
+    """Reference solver: enumerate all edge subsets (tiny graphs only)."""
+    graph.require_simple()
+    edges = list(graph.edges)
+    if len(edges) > 20:
+        raise RuntimeError(
+            "brute force limited to 20 edges; use minimum_maximal_matching"
+        )
+    best: frozenset[PortEdge] | None = None
+    for mask in range(1 << len(edges)):
+        subset = frozenset(
+            e for k, e in enumerate(edges) if mask & (1 << k)
+        )
+        if best is not None and len(subset) >= len(best):
+            continue
+        if is_maximal_matching(graph, subset):
+            best = subset
+    assert best is not None or not edges
+    return best if best is not None else frozenset()

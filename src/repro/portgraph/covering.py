@@ -1,0 +1,225 @@
+"""Covering maps between port-numbered graphs (paper Section 2.3).
+
+A surjection ``f : V(H) -> V(G)`` is a *covering map* when it preserves
+degrees and connections: ``d_H(v) = d_G(f(v))`` and
+``p_H(v, i) = (u, j)`` implies ``p_G(f(v), i) = (f(u), j)``.
+
+The fundamental fact (paper Section 2.3) is that a deterministic
+distributed algorithm cannot distinguish a graph from its covering graph:
+node ``v`` of ``H`` always produces the same output as node ``f(v)`` of
+``G``.  Both lower-bound constructions rest on this, and the property is
+used throughout the test suite as a universal differential test.
+
+This module provides:
+
+* :func:`verify_covering_map` / :func:`is_covering_map` — check the two
+  conditions plus surjectivity;
+* :func:`quotient_by_partition` — collapse a graph along a node partition
+  when the partition is *connection-consistent*, yielding the quotient
+  multigraph and the covering map onto it;
+* :func:`random_lift` — a random k-fold covering graph, for property-based
+  testing of lifting invariance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Hashable, Mapping
+
+from repro.exceptions import CoveringMapError, QuotientError
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Node, Port, port_sort_key
+
+__all__ = [
+    "verify_covering_map",
+    "is_covering_map",
+    "quotient_by_partition",
+    "random_lift",
+]
+
+
+def verify_covering_map(
+    cover: PortNumberedGraph,
+    base: PortNumberedGraph,
+    f: Mapping[Node, Node],
+) -> None:
+    """Raise :class:`CoveringMapError` unless *f* is a covering map.
+
+    Checks, in order: totality of *f*, surjectivity onto the base's nodes,
+    degree preservation, and connection preservation.
+    """
+    missing = [v for v in cover.nodes if v not in f]
+    if missing:
+        raise CoveringMapError(f"f is undefined on nodes {missing[:5]!r}")
+
+    image = {f[v] for v in cover.nodes}
+    base_nodes = set(base.nodes)
+    if not image <= base_nodes:
+        raise CoveringMapError(
+            f"f maps onto nodes outside the base graph: "
+            f"{sorted(image - base_nodes, key=repr)[:5]!r}"
+        )
+    if image != base_nodes:
+        raise CoveringMapError(
+            f"f is not surjective; uncovered base nodes: "
+            f"{sorted(base_nodes - image, key=repr)[:5]!r}"
+        )
+
+    for v in cover.nodes:
+        if cover.degree(v) != base.degree(f[v]):
+            raise CoveringMapError(
+                f"degree not preserved at {v!r}: "
+                f"d_H({v!r}) = {cover.degree(v)} but "
+                f"d_G({f[v]!r}) = {base.degree(f[v])}"
+            )
+
+    for v in cover.nodes:
+        for i in cover.ports(v):
+            u, j = cover.connection(v, i)
+            expected = base.connection(f[v], i)
+            if expected != (f[u], j):
+                raise CoveringMapError(
+                    f"connection not preserved at port ({v!r}, {i}): "
+                    f"p_H maps it to ({u!r}, {j}) so the base needs "
+                    f"p_G({f[v]!r}, {i}) = ({f[u]!r}, {j}), "
+                    f"but p_G({f[v]!r}, {i}) = {expected!r}"
+                )
+
+
+def is_covering_map(
+    cover: PortNumberedGraph,
+    base: PortNumberedGraph,
+    f: Mapping[Node, Node],
+) -> bool:
+    """Boolean form of :func:`verify_covering_map`."""
+    try:
+        verify_covering_map(cover, base, f)
+    except CoveringMapError:
+        return False
+    return True
+
+
+def quotient_by_partition(
+    graph: PortNumberedGraph,
+    block_of: Mapping[Node, Hashable],
+) -> tuple[PortNumberedGraph, dict[Node, Hashable]]:
+    """Collapse *graph* along a node partition into a quotient multigraph.
+
+    ``block_of`` assigns each node to a block label.  The partition must be
+    *connection-consistent*: all nodes of a block share one degree, and for
+    every port ``i`` the connection ``p(v, i) = (u, j)`` lands in the same
+    block with the same port number ``j`` for every ``v`` in the block.
+
+    Returns the quotient graph (whose nodes are the block labels) together
+    with the covering map ``node -> block``; the map is verified before
+    being returned.
+
+    Raises
+    ------
+    QuotientError
+        If the partition is not connection-consistent.
+    """
+    missing = [v for v in graph.nodes if v not in block_of]
+    if missing:
+        raise QuotientError(f"partition undefined on nodes {missing[:5]!r}")
+
+    blocks: dict[Hashable, list[Node]] = {}
+    for v in graph.nodes:
+        blocks.setdefault(block_of[v], []).append(v)
+
+    degrees: dict[Node, int] = {}
+    for label, members in blocks.items():
+        block_degrees = {graph.degree(v) for v in members}
+        if len(block_degrees) != 1:
+            raise QuotientError(
+                f"block {label!r} mixes degrees {sorted(block_degrees)}"
+            )
+        degrees[label] = next(iter(block_degrees))
+
+    involution: dict[Port, Port] = {}
+    for label, members in blocks.items():
+        for i in range(1, degrees[label] + 1):
+            targets = {
+                (block_of[graph.connection(v, i)[0]], graph.connection(v, i)[1])
+                for v in members
+            }
+            if len(targets) != 1:
+                raise QuotientError(
+                    f"port ({label!r}, {i}) is not well defined: members of "
+                    f"the block connect to {sorted(targets, key=port_sort_key)[:5]!r}"
+                )
+            involution[(label, i)] = next(iter(targets))
+
+    quotient = PortNumberedGraph(degrees, involution)
+    f = {v: block_of[v] for v in graph.nodes}
+    verify_covering_map(graph, quotient, f)
+    return quotient, f
+
+
+def _random_involution(k: int, rng: random.Random) -> list[int]:
+    """A uniformly chosen involution on ``0..k-1`` (may have fixed points)."""
+    items = list(range(k))
+    rng.shuffle(items)
+    sigma = list(range(k))
+    while items:
+        a = items.pop()
+        if not items or rng.random() < 0.5:
+            sigma[a] = a
+        else:
+            b = items.pop()
+            sigma[a], sigma[b] = b, a
+    return sigma
+
+
+def random_lift(
+    base: PortNumberedGraph,
+    fold: int,
+    seed: int | None = None,
+    node_name: Callable[[Node, int], Node] | None = None,
+) -> tuple[PortNumberedGraph, dict[Node, Node]]:
+    """Construct a random *fold*-sheeted covering graph of *base*.
+
+    Every node ``v`` of the base lifts to copies ``(v, 0) .. (v, fold-1)``.
+    For every edge orbit ``{(v, i), (u, j)}`` of the base involution a
+    random permutation ``pi`` of the sheets is chosen and copy ``s`` of
+    ``(v, i)`` is wired to copy ``pi(s)`` of ``(u, j)``; fixed points (the
+    base's directed loops) use a random involution of the sheets so the
+    lifted map remains an involution.
+
+    Returns the lift together with the covering map (projection onto the
+    first coordinate, post-processed through *node_name* if given).
+    """
+    if fold < 1:
+        raise CoveringMapError(f"fold must be >= 1, got {fold}")
+    rng = random.Random(seed)
+    name = node_name or (lambda v, s: (v, s))
+
+    degrees: dict[Node, int] = {}
+    for v in base.nodes:
+        for s in range(fold):
+            degrees[name(v, s)] = base.degree(v)
+
+    involution: dict[Port, Port] = {}
+    seen: set[Port] = set()
+    for port in sorted(base.involution, key=port_sort_key):
+        if port in seen:
+            continue
+        image = base.connection(*port)
+        seen.add(port)
+        seen.add(image)
+        (v, i), (u, j) = port, image
+        if (v, i) == (u, j):
+            sigma = _random_involution(fold, rng)
+            for s in range(fold):
+                involution[(name(v, s), i)] = (name(v, sigma[s]), i)
+        else:
+            pi = list(range(fold))
+            rng.shuffle(pi)
+            for s in range(fold):
+                involution[(name(v, s), i)] = (name(u, pi[s]), j)
+                involution[(name(u, pi[s]), j)] = (name(v, s), i)
+
+    lift = PortNumberedGraph(degrees, involution)
+    f = {name(v, s): v for v in base.nodes for s in range(fold)}
+    verify_covering_map(lift, base, f)
+    return lift, f

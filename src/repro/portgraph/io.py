@@ -1,0 +1,95 @@
+"""JSON serialisation of port-numbered graphs.
+
+Port-numbered graphs are exchanged between tools (and checked into test
+fixtures) as a small JSON document::
+
+    {
+      "nodes": [{"id": "u", "degree": 2}, ...],
+      "connections": [[["u", 1], ["v", 2]], ...]
+    }
+
+Each connection lists one orbit of the involution; fixed points (directed
+loops) are encoded as a single-port orbit ``[["v", 3]]``.  Node ids must
+be strings or integers (JSON-representable); richer node objects should
+be relabelled before export.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.exceptions import GraphValidationError
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Port, port_sort_key
+
+__all__ = ["graph_to_json", "graph_from_json", "dump_graph", "load_graph"]
+
+
+def graph_to_json(graph: PortNumberedGraph) -> dict[str, Any]:
+    """Encode *graph* as a JSON-serialisable dictionary."""
+    for v in graph.nodes:
+        if not isinstance(v, (str, int)):
+            raise GraphValidationError(
+                f"node {v!r} is not JSON-representable; relabel first"
+            )
+    nodes = [
+        {"id": v, "degree": graph.degree(v)} for v in graph.nodes
+    ]
+    connections: list[list[list[Any]]] = []
+    seen: set[Port] = set()
+    for port in sorted(graph.involution, key=port_sort_key):
+        if port in seen:
+            continue
+        image = graph.connection(*port)
+        seen.add(port)
+        seen.add(image)
+        if port == image:
+            connections.append([[port[0], port[1]]])
+        else:
+            connections.append(
+                [[port[0], port[1]], [image[0], image[1]]]
+            )
+    return {"nodes": nodes, "connections": connections}
+
+
+def graph_from_json(document: dict[str, Any]) -> PortNumberedGraph:
+    """Decode a dictionary produced by :func:`graph_to_json`."""
+    try:
+        node_entries = document["nodes"]
+        connection_entries = document["connections"]
+    except (KeyError, TypeError) as exc:
+        raise GraphValidationError(
+            "document must have 'nodes' and 'connections' keys"
+        ) from exc
+
+    degrees = {}
+    for entry in node_entries:
+        degrees[entry["id"]] = int(entry["degree"])
+
+    involution: dict[Port, Port] = {}
+    for orbit in connection_entries:
+        if len(orbit) == 1:
+            (node, port_number), = orbit
+            involution[(node, int(port_number))] = (node, int(port_number))
+        elif len(orbit) == 2:
+            (u, i), (v, j) = orbit
+            involution[(u, int(i))] = (v, int(j))
+            involution[(v, int(j))] = (u, int(i))
+        else:
+            raise GraphValidationError(
+                f"connection orbit must have 1 or 2 ports, got {orbit!r}"
+            )
+    return PortNumberedGraph(degrees, involution)
+
+
+def dump_graph(graph: PortNumberedGraph, path: str) -> None:
+    """Write *graph* to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(graph_to_json(graph), handle, indent=2, sort_keys=True)
+
+
+def load_graph(path: str) -> PortNumberedGraph:
+    """Read a graph written by :func:`dump_graph`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_json(json.load(handle))

@@ -1,0 +1,134 @@
+"""Label pairs, distinguishable neighbours and the matchings M(i, j).
+
+Centralised reference implementations of the concepts from paper Section 5.
+The distributed algorithms recompute the same data by message passing (see
+:mod:`repro.algorithms.base`); tests assert that both computations agree.
+
+Definitions (for a *simple* port-numbered graph ``G``):
+
+* For an edge ``{v, u}`` with ``p(v, i) = (u, j)`` the *label pair* is the
+  unordered pair ``{i, j}`` (written ``l{v, u}`` in the paper).
+* An edge incident to ``v`` is *uniquely labelled* (for ``v``) if no other
+  edge incident to ``v`` has the same label pair.
+* The *distinguishable neighbour* of ``v`` is the endpoint of the uniquely
+  labelled edge of ``v`` that minimises the port number ``l(v, u)``
+  (Lemma 1: it exists whenever ``deg(v)`` is odd).
+* ``M(i, j)`` is the set of edges ``{v, u}`` with ``p(v, i) = (u, j)`` such
+  that ``u`` is the distinguishable neighbour of ``v``
+  (Lemma 2: each ``M(i, j)`` is a matching).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Node, PortEdge
+
+__all__ = [
+    "label_pair",
+    "label_pairs_at",
+    "uniquely_labelled_edges",
+    "distinguishable_neighbour",
+    "distinguishable_edge",
+    "matching_m",
+    "all_matchings",
+]
+
+
+def label_pair(graph: PortNumberedGraph, v: Node, u: Node) -> frozenset[int]:
+    """The label pair ``l{v, u}`` of the edge joining *v* and *u*."""
+    i, j = graph.port_between(v, u)
+    return frozenset({i, j})
+
+
+def label_pairs_at(
+    graph: PortNumberedGraph, v: Node
+) -> dict[int, frozenset[int]]:
+    """Map each port ``i`` of *v* to the label pair of its edge."""
+    graph.require_simple()
+    result: dict[int, frozenset[int]] = {}
+    for i in graph.ports(v):
+        _, j = graph.connection(v, i)
+        result[i] = frozenset({i, j})
+    return result
+
+
+def uniquely_labelled_edges(
+    graph: PortNumberedGraph, v: Node
+) -> tuple[PortEdge, ...]:
+    """The uniquely labelled edges of *v*, ordered by port number.
+
+    An edge incident to *v* is uniquely labelled if its label pair differs
+    from the label pair of every other edge incident to *v*.
+    """
+    pairs = label_pairs_at(graph, v)
+    multiplicity = Counter(pairs.values())
+    return tuple(
+        graph.edge_at(v, i)
+        for i in graph.ports(v)
+        if multiplicity[pairs[i]] == 1
+    )
+
+
+def distinguishable_edge(
+    graph: PortNumberedGraph, v: Node
+) -> PortEdge | None:
+    """The uniquely labelled edge of *v* minimising ``l(v, u)``, if any."""
+    unique = uniquely_labelled_edges(graph, v)
+    if not unique:
+        return None
+    # edges_at orders by port number, and uniquely_labelled_edges preserves
+    # that order, so the first element minimises l(v, u).
+    return unique[0]
+
+
+def distinguishable_neighbour(
+    graph: PortNumberedGraph, v: Node
+) -> Node | None:
+    """The distinguishable neighbour of *v* (paper Section 5), if any.
+
+    Lemma 1 guarantees existence whenever ``deg(v)`` is odd.
+    """
+    edge = distinguishable_edge(graph, v)
+    if edge is None:
+        return None
+    return edge.other_endpoint(v)
+
+
+def matching_m(
+    graph: PortNumberedGraph, i: int, j: int
+) -> frozenset[PortEdge]:
+    """The matching ``M_G(i, j)`` of paper Section 5.
+
+    ``M(i, j)`` contains every edge ``{v, u}`` such that ``p(v, i) = (u, j)``
+    and ``u`` is the distinguishable neighbour of ``v``.  By Lemma 2 the
+    result is a matching; tests verify this property.
+    """
+    graph.require_simple()
+    edges: set[PortEdge] = set()
+    for v in graph.nodes:
+        if i not in graph.ports(v):
+            continue
+        u, port_back = graph.connection(v, i)
+        if port_back != j:
+            continue
+        if distinguishable_neighbour(graph, v) == u:
+            edges.add(graph.edge_at(v, i))
+    return frozenset(edges)
+
+
+def all_matchings(
+    graph: PortNumberedGraph, max_port: int | None = None
+) -> dict[tuple[int, int], frozenset[PortEdge]]:
+    """All matchings ``M(i, j)`` for ``i, j`` in ``1..max_port``.
+
+    *max_port* defaults to the maximum degree.  The union of the returned
+    matchings covers every node that has a distinguishable neighbour — in
+    particular every node of odd degree (Lemmas 1-2).
+    """
+    bound = graph.max_degree if max_port is None else max_port
+    return {
+        (i, j): matching_m(graph, i, j)
+        for i in range(1, bound + 1)
+        for j in range(1, bound + 1)
+    }

@@ -1,0 +1,163 @@
+"""Degree/connection refinement: the minimal quotient of a port-numbered
+graph, and the exact power of deterministic anonymous algorithms.
+
+The covering-map argument of paper §2.3 shows that a deterministic
+anonymous algorithm cannot distinguish nodes that are related by a
+covering map.  This module computes the *coarsest* stable partition of a
+graph's nodes — the analogue of colour refinement (1-WL) adapted to the
+port-numbering model:
+
+* start with one block per degree;
+* repeatedly split blocks until, within each block, every port number
+  leads to the same (block, peer-port) pair;
+* the result is connection-consistent, so it induces a quotient graph
+  (:func:`repro.portgraph.covering.quotient_by_partition`) — the
+  *minimal base* of the graph.
+
+Two consequences are exposed as functions:
+
+* :func:`minimal_quotient` — the smallest graph the input covers in this
+  refinement sense; the lower-bound constructions of Theorems 1-2 are
+  engineered so that this quotient is tiny (1 and d+1 nodes), and tests
+  verify the refinement rediscovers the papers' partitions automatically.
+* :func:`best_anonymous_eds_size` — the *exact* optimum achievable by any
+  deterministic anonymous algorithm on a given graph: node outputs are
+  constant on refinement classes, so any algorithm's output is a union of
+  whole edge orbits; minimising an EDS over unions of orbits yields the
+  best possible anonymous solution.  Dividing by the true optimum turns
+  every Table 1 lower bound into a direct computation.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Mapping
+
+from repro.eds.properties import is_edge_dominating_set
+from repro.exceptions import ReproError
+from repro.portgraph.covering import quotient_by_partition
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Node, PortEdge
+
+__all__ = [
+    "stable_partition",
+    "minimal_quotient",
+    "edge_orbits",
+    "best_anonymous_eds_size",
+]
+
+_MAX_ORBITS_FOR_SEARCH = 20
+
+
+def stable_partition(graph: PortNumberedGraph) -> dict[Node, int]:
+    """The coarsest connection-consistent partition (block ids as ints).
+
+    Iterated refinement: the initial signature is the degree; each round
+    appends, per port, the pair (current block of the neighbour, peer
+    port).  Stops at a fixpoint; at most n rounds.
+    """
+    block: dict[Node, int] = {}
+    signature: dict[Node, Hashable] = {
+        v: graph.degree(v) for v in graph.nodes
+    }
+    block = _blocks_from_signatures(signature)
+
+    while True:
+        new_signature: dict[Node, Hashable] = {}
+        for v in graph.nodes:
+            parts = [block[v]]
+            for i in graph.ports(v):
+                u, j = graph.connection(v, i)
+                parts.append((block[u], j))
+            new_signature[v] = tuple(parts)
+        new_block = _blocks_from_signatures(new_signature)
+        if len(set(new_block.values())) == len(set(block.values())):
+            return block
+        block = new_block
+
+
+def _blocks_from_signatures(
+    signature: Mapping[Node, Hashable],
+) -> dict[Node, int]:
+    by_signature: dict[Hashable, list[Node]] = {}
+    for v, sig in signature.items():
+        by_signature.setdefault(sig, []).append(v)
+    ordered = sorted(by_signature, key=repr)
+    block_of_signature = {sig: idx for idx, sig in enumerate(ordered)}
+    return {v: block_of_signature[sig] for v, sig in signature.items()}
+
+
+def minimal_quotient(
+    graph: PortNumberedGraph,
+) -> tuple[PortNumberedGraph, dict[Node, int]]:
+    """The smallest quotient graph under refinement, with its map.
+
+    The graph covers the quotient (verified internally); a deterministic
+    anonymous algorithm behaves identically on both.
+    """
+    partition = stable_partition(graph)
+    quotient, covering_map = quotient_by_partition(graph, partition)
+    return quotient, dict(covering_map)
+
+
+def edge_orbits(
+    graph: PortNumberedGraph,
+) -> list[frozenset[PortEdge]]:
+    """Partition the edges into refinement orbits.
+
+    Two edges are in the same orbit when their endpoint blocks and port
+    pairs coincide; any deterministic anonymous algorithm selects either
+    all edges of an orbit or none (its output is constant on blocks).
+    """
+    partition = stable_partition(graph)
+    orbit_of: dict[Hashable, set[PortEdge]] = {}
+    for e in graph.edges:
+        key = frozenset(
+            {(partition[e.u], e.i), (partition[e.v], e.j)}
+        )
+        orbit_of.setdefault(key, set()).add(e)
+    return [
+        frozenset(edges)
+        for _, edges in sorted(orbit_of.items(), key=lambda kv: repr(kv[0]))
+    ]
+
+
+def best_anonymous_eds_size(
+    graph: PortNumberedGraph,
+    *,
+    max_orbits: int = _MAX_ORBITS_FOR_SEARCH,
+) -> int:
+    """A lower bound on the EDS size *any* deterministic anonymous
+    algorithm emits on this graph, of any round complexity.
+
+    Outputs are constant on refinement blocks, so every feasible output
+    is a union of whole edge orbits; the minimum dominating orbit-union
+    therefore bounds every algorithm from below.  (Whether the bound is
+    achievable depends on the graph; on the Theorem 1-2 constructions it
+    is — the upper-bound algorithms land exactly on it.)  The search over
+    orbit subsets is exhaustive; the orbit count is tiny on symmetric
+    adversarial instances, and a guard rejects graphs that are not
+    symmetric enough for this to be meaningful.
+    """
+    orbits = edge_orbits(graph)
+    if len(orbits) > max_orbits:
+        raise ReproError(
+            f"{len(orbits)} edge orbits exceed the search limit "
+            f"{max_orbits}; the graph is not symmetric enough for "
+            "exhaustive orbit search"
+        )
+    sizes = [len(orbit) for orbit in orbits]
+    best: int | None = None
+    for r in range(len(orbits) + 1):
+        for chosen in combinations(range(len(orbits)), r):
+            total = sum(sizes[k] for k in chosen)
+            if best is not None and total >= best:
+                continue
+            union: set[PortEdge] = set()
+            for k in chosen:
+                union |= orbits[k]
+            if is_edge_dominating_set(graph, union):
+                best = total
+    if best is None:
+        raise ReproError("no union of orbits dominates: graph has no EDS?")
+    return best

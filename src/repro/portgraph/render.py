@@ -1,0 +1,73 @@
+"""Plain-text rendering of port-numbered graphs and solutions.
+
+Used by the CLI and the figure reproductions to inspect constructions
+without plotting dependencies.  The renderings are deterministic, so
+they can be asserted against in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Node, PortEdge
+
+__all__ = ["render_graph", "render_edge_set", "render_outputs"]
+
+
+def render_graph(graph: PortNumberedGraph, *, title: str = "") -> str:
+    """One line per node: degree and the connection of every port."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    width = max((len(str(v)) for v in graph.nodes), default=1)
+    for v in graph.nodes:
+        connections = "  ".join(
+            f"{i}->{_port_str(graph.connection(v, i))}"
+            for i in graph.ports(v)
+        )
+        lines.append(f"{str(v):>{width}} (deg {graph.degree(v)}): {connections}")
+    if graph.num_nodes == 0:
+        lines.append("(empty graph)")
+    return "\n".join(lines)
+
+
+def _port_str(port: tuple[Node, int]) -> str:
+    node, index = port
+    return f"{node}:{index}"
+
+
+def render_edge_set(
+    edges: Iterable[PortEdge], *, title: str = ""
+) -> str:
+    """A sorted, one-per-line listing of edges with their port pairs."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    edge_list = sorted(edges, key=repr)
+    for e in edge_list:
+        if e.is_directed_loop:
+            lines.append(f"  loop {e.u}:{e.i}")
+        else:
+            lines.append(f"  {e.u}:{e.i} -- {e.v}:{e.j}")
+    if not edge_list:
+        lines.append("  (empty)")
+    return "\n".join(lines)
+
+
+def render_outputs(
+    graph: PortNumberedGraph,
+    outputs: Mapping[Node, frozenset[int]],
+    *,
+    title: str = "",
+) -> str:
+    """Per-node output port sets, with the selected edge count."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    width = max((len(str(v)) for v in graph.nodes), default=1)
+    for v in graph.nodes:
+        ports = sorted(outputs.get(v, frozenset()))
+        lines.append(f"  X({str(v):>{width}}) = {ports}")
+    return "\n".join(lines)

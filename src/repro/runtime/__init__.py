@@ -1,0 +1,37 @@
+"""Synchronous message-passing runtime for the port-numbering model (§2.2)."""
+
+from repro.runtime.algorithm import (
+    AnonymousAlgorithm,
+    IdentifiedAlgorithm,
+    Message,
+    NodeProgram,
+)
+from repro.runtime.outputs import (
+    check_consistency,
+    decode_edge_set,
+    edge_set_to_outputs,
+)
+from repro.runtime.scheduler import (
+    DEFAULT_MAX_ROUNDS,
+    RunResult,
+    run_anonymous,
+    run_identified,
+)
+from repro.runtime.trace import ExecutionTrace, RoundTrace, SentMessage
+
+__all__ = [
+    "NodeProgram",
+    "AnonymousAlgorithm",
+    "IdentifiedAlgorithm",
+    "Message",
+    "RunResult",
+    "run_anonymous",
+    "run_identified",
+    "DEFAULT_MAX_ROUNDS",
+    "check_consistency",
+    "decode_edge_set",
+    "edge_set_to_outputs",
+    "ExecutionTrace",
+    "RoundTrace",
+    "SentMessage",
+]

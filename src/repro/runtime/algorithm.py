@@ -1,0 +1,94 @@
+"""Node-program interface for synchronous distributed algorithms (§2.2).
+
+The paper's model: all nodes run the same deterministic algorithm; a node
+initially knows *only its own degree*; computation proceeds in synchronous
+rounds of (local computation, send one message per port, receive one
+message per port); a node may halt and announce its output — for edge
+dominating set problems the output is a subset ``X(v)`` of its ports.
+
+The anonymity of the model is enforced structurally: an
+:class:`AnonymousAlgorithm` builds one :class:`NodeProgram` per node from
+the node's degree alone.  Identified baselines (outside the paper's model)
+use :class:`IdentifiedAlgorithm`, whose factory additionally receives a
+unique integer identifier.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Mapping
+
+from repro.exceptions import SimulationError
+
+__all__ = [
+    "NodeProgram",
+    "AnonymousAlgorithm",
+    "IdentifiedAlgorithm",
+    "Message",
+]
+
+#: Messages are arbitrary (ideally small and immutable) Python values.
+Message = object
+
+
+class NodeProgram(abc.ABC):
+    """The state machine executed by a single node.
+
+    Subclasses implement :meth:`send` and :meth:`receive`.  A program halts
+    by calling :meth:`halt` with its output port set; a halted program is
+    no longer scheduled.
+
+    Round structure (round numbers start at 0): the scheduler calls
+    ``send(rnd)`` on every running node, routes the messages through the
+    involution, then calls ``receive(rnd, inbox)`` on every running node.
+    ``inbox`` maps port number to the message that arrived there; ports
+    whose peer sent nothing are absent from the mapping.
+    """
+
+    __slots__ = ("degree", "_halted", "_output")
+
+    def __init__(self, degree: int) -> None:
+        self.degree = degree
+        self._halted = False
+        self._output: frozenset[int] | None = None
+
+    # -- protocol hooks -------------------------------------------------
+
+    @abc.abstractmethod
+    def send(self, rnd: int) -> Mapping[int, Message]:
+        """Messages to emit this round, keyed by port number."""
+
+    @abc.abstractmethod
+    def receive(self, rnd: int, inbox: Mapping[int, Message]) -> None:
+        """Process this round's inbox; may call :meth:`halt`."""
+
+    # -- halting ---------------------------------------------------------
+
+    def halt(self, output: frozenset[int] | set[int] | None = None) -> None:
+        """Stop and announce *output* (a set of port numbers, default ∅)."""
+        ports = frozenset(output or ())
+        bad = [i for i in ports if not 1 <= i <= self.degree]
+        if bad:
+            raise SimulationError(
+                f"output ports {bad!r} outside 1..{self.degree}"
+            )
+        self._halted = True
+        self._output = ports
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    @property
+    def output(self) -> frozenset[int] | None:
+        """The announced port set, or None while still running."""
+        return self._output
+
+
+#: Factory building a node program from the node's degree only.  This
+#: signature *is* the anonymity guarantee: the program cannot depend on
+#: anything but the degree.
+AnonymousAlgorithm = Callable[[int], NodeProgram]
+
+#: Factory for the identified variant: (degree, unique_id) -> program.
+IdentifiedAlgorithm = Callable[[int, int], NodeProgram]

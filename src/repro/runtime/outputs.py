@@ -1,0 +1,67 @@
+"""Decoding node outputs into edge sets (paper Section 2.2).
+
+A node ``v`` announces a subset ``X(v)`` of its ports; the selected edge
+set is ``D = {edge at (v, i) : i in X(v)}``.  The paper requires internal
+consistency: if ``i ∈ X(v)`` and ``p(v, i) = (u, j)`` then ``j ∈ X(u)``.
+:func:`decode_edge_set` enforces this and returns the edges.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.exceptions import InconsistentOutputError
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Node, PortEdge
+
+__all__ = ["check_consistency", "decode_edge_set", "edge_set_to_outputs"]
+
+
+def check_consistency(
+    graph: PortNumberedGraph,
+    outputs: Mapping[Node, frozenset[int]],
+) -> None:
+    """Raise :class:`InconsistentOutputError` on any §2.2 violation."""
+    missing = [v for v in graph.nodes if v not in outputs]
+    if missing:
+        raise InconsistentOutputError(
+            f"nodes without output: {missing[:5]!r}"
+        )
+    for v in graph.nodes:
+        for i in outputs[v]:
+            if not 1 <= i <= graph.degree(v):
+                raise InconsistentOutputError(
+                    f"node {v!r} output invalid port {i}"
+                )
+            u, j = graph.connection(v, i)
+            if j not in outputs[u]:
+                raise InconsistentOutputError(
+                    f"inconsistent output: {i} ∈ X({v!r}) and "
+                    f"p({v!r}, {i}) = ({u!r}, {j}) but {j} ∉ X({u!r})"
+                )
+
+
+def decode_edge_set(
+    graph: PortNumberedGraph,
+    outputs: Mapping[Node, frozenset[int]],
+) -> frozenset[PortEdge]:
+    """Convert per-node port sets into the selected edge set.
+
+    Consistency is checked first; the result contains each selected edge
+    exactly once.
+    """
+    check_consistency(graph, outputs)
+    edges: set[PortEdge] = set()
+    for v in graph.nodes:
+        for i in outputs[v]:
+            edges.add(graph.edge_at(v, i))
+    return frozenset(edges)
+
+
+def edge_set_to_outputs(
+    graph: PortNumberedGraph,
+    edges: frozenset[PortEdge] | set[PortEdge],
+) -> dict[Node, frozenset[int]]:
+    """Inverse of :func:`decode_edge_set`: the port sets selecting *edges*."""
+    ports = graph.induced_subgraph_ports(edges)
+    return {v: frozenset(ports[v]) for v in graph.nodes}

@@ -1,0 +1,168 @@
+"""The synchronous scheduler: executes node programs per paper §2.2.
+
+Each round the scheduler
+
+1. asks every running node program for its outgoing messages,
+2. routes every message through the involution ``p`` (the message sent by
+   ``v`` to its port ``i`` is received by ``u`` from port ``j`` where
+   ``p(v, i) = (u, j)``),
+3. delivers each node's inbox.
+
+The run ends when every node has halted; a configurable round limit
+guards against non-terminating programs.  :class:`RunResult` bundles the
+outputs, the round count, and (optionally) a full message trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import RoundLimitExceeded, SimulationError
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Node, PortEdge
+from repro.runtime.algorithm import (
+    AnonymousAlgorithm,
+    IdentifiedAlgorithm,
+    NodeProgram,
+)
+from repro.runtime.outputs import decode_edge_set
+from repro.runtime.trace import ExecutionTrace, RoundTrace, SentMessage
+
+__all__ = ["RunResult", "run_anonymous", "run_identified", "DEFAULT_MAX_ROUNDS"]
+
+DEFAULT_MAX_ROUNDS = 100_000
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulated execution."""
+
+    graph: PortNumberedGraph
+    outputs: Mapping[Node, frozenset[int]]
+    rounds: int
+    trace: ExecutionTrace | None = None
+
+    def edge_set(self) -> frozenset[PortEdge]:
+        """Decode the outputs into the selected edge set (checked)."""
+        return decode_edge_set(self.graph, self.outputs)
+
+    def output_of(self, node: Node) -> frozenset[int]:
+        return self.outputs[node]
+
+
+def _execute(
+    graph: PortNumberedGraph,
+    programs: dict[Node, NodeProgram],
+    max_rounds: int,
+    record_trace: bool,
+) -> RunResult:
+    trace = ExecutionTrace() if record_trace else None
+    running = {v for v, prog in programs.items() if not prog.halted}
+    rnd = 0
+
+    while running:
+        if rnd >= max_rounds:
+            raise RoundLimitExceeded(
+                f"{len(running)} node(s) still running after "
+                f"{max_rounds} rounds"
+            )
+
+        round_trace = RoundTrace(rnd) if record_trace else None
+
+        # 1. collect sends from running nodes
+        inboxes: dict[Node, dict[int, object]] = {v: {} for v in running}
+        for v in running:
+            out = programs[v].send(rnd)
+            degree = graph.degree(v)
+            for port, payload in out.items():
+                if not 1 <= port <= degree:
+                    raise SimulationError(
+                        f"node {v!r} sent on invalid port {port} "
+                        f"(degree {degree})"
+                    )
+                u, j = graph.connection(v, port)
+                # Messages to halted nodes are dropped (their programs no
+                # longer receive); in the paper's algorithms all nodes halt
+                # simultaneously so this never matters.
+                if u in inboxes:
+                    inboxes[u][j] = payload
+                if round_trace is not None:
+                    round_trace.messages.append(
+                        SentMessage((v, port), (u, j), payload)
+                    )
+
+        # 2. deliver and let nodes step / halt
+        newly_halted: list[Node] = []
+        for v in sorted(running, key=repr):
+            programs[v].receive(rnd, inboxes[v])
+            if programs[v].halted:
+                newly_halted.append(v)
+        for v in newly_halted:
+            running.discard(v)
+            if round_trace is not None:
+                round_trace.halted_nodes.append(v)
+
+        if trace is not None and round_trace is not None:
+            trace.rounds.append(round_trace)
+        rnd += 1
+
+    outputs: dict[Node, frozenset[int]] = {}
+    for v, prog in programs.items():
+        assert prog.output is not None  # halted implies output set
+        outputs[v] = prog.output
+    return RunResult(graph=graph, outputs=outputs, rounds=rnd, trace=trace)
+
+
+def run_anonymous(
+    graph: PortNumberedGraph,
+    algorithm: AnonymousAlgorithm,
+    *,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    record_trace: bool = False,
+) -> RunResult:
+    """Run a deterministic anonymous algorithm on *graph*.
+
+    *algorithm* is a factory mapping a degree to a fresh
+    :class:`NodeProgram`; it is invoked once per node with only the node's
+    degree, which structurally enforces the anonymity of the model.
+
+    Nodes of degree 0 are halted immediately with empty output (they can
+    never receive information).
+    """
+    programs: dict[Node, NodeProgram] = {}
+    for v in graph.nodes:
+        prog = algorithm(graph.degree(v))
+        if graph.degree(v) == 0 and not prog.halted:
+            prog.halt(frozenset())
+        programs[v] = prog
+    return _execute(graph, programs, max_rounds, record_trace)
+
+
+def run_identified(
+    graph: PortNumberedGraph,
+    algorithm: IdentifiedAlgorithm,
+    *,
+    ids: Mapping[Node, int] | None = None,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    record_trace: bool = False,
+) -> RunResult:
+    """Run an algorithm in the stronger unique-identifier model.
+
+    *ids* assigns each node a distinct integer; by default nodes are
+    numbered by their deterministic order in ``graph.nodes``.  This runner
+    exists for baseline comparisons (paper §1.3); the paper's own
+    algorithms never use it.
+    """
+    if ids is None:
+        ids = {v: k for k, v in enumerate(graph.nodes)}
+    if len(set(ids.values())) != graph.num_nodes:
+        raise SimulationError("node identifiers must be unique")
+
+    programs: dict[Node, NodeProgram] = {}
+    for v in graph.nodes:
+        prog = algorithm(graph.degree(v), ids[v])
+        if graph.degree(v) == 0 and not prog.halted:
+            prog.halt(frozenset())
+        programs[v] = prog
+    return _execute(graph, programs, max_rounds, record_trace)

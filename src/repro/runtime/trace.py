@@ -1,0 +1,69 @@
+"""Execution traces for the synchronous simulator.
+
+A trace records, per round, which messages crossed which connections.
+Traces are optional (they cost memory proportional to the message volume)
+and are primarily used by tests, the figure reproductions, and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.portgraph.ports import Node, Port
+
+__all__ = ["SentMessage", "RoundTrace", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class SentMessage:
+    """One message in flight: sent from *source* port, arriving at *target*."""
+
+    source: Port
+    target: Port
+    payload: object
+
+
+@dataclass
+class RoundTrace:
+    """Everything that happened in one synchronous round."""
+
+    round_number: int
+    messages: list[SentMessage] = field(default_factory=list)
+    halted_nodes: list[Node] = field(default_factory=list)
+
+    @property
+    def message_count(self) -> int:
+        return len(self.messages)
+
+
+@dataclass
+class ExecutionTrace:
+    """The full history of one simulation run."""
+
+    rounds: list[RoundTrace] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[RoundTrace]:
+        return iter(self.rounds)
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(r.message_count for r in self.rounds)
+
+    def messages_in_round(self, rnd: int) -> list[SentMessage]:
+        return self.rounds[rnd].messages
+
+    def summary(self) -> str:
+        """A compact human-readable digest of the run."""
+        lines = [f"rounds: {len(self.rounds)}"]
+        lines.append(f"total messages: {self.total_messages}")
+        for r in self.rounds:
+            if r.halted_nodes:
+                lines.append(
+                    f"  round {r.round_number}: {r.message_count} msgs, "
+                    f"{len(r.halted_nodes)} node(s) halted"
+                )
+        return "\n".join(lines)

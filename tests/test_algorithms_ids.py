@@ -1,0 +1,58 @@
+"""Tests for the identified-model maximal matching baseline."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import GreedyMaximalMatchingIds
+from repro.eds import is_edge_dominating_set, minimum_eds_size
+from repro.matching import is_matching, is_maximal_matching
+from repro.portgraph import from_networkx, random_numbering
+from repro.runtime import run_identified
+
+from tests.conftest import nx_graphs
+
+
+class TestBaseline:
+    def test_single_edge(self, path_graph_p2):
+        result = run_identified(path_graph_p2, GreedyMaximalMatchingIds)
+        assert result.edge_set() == frozenset(path_graph_p2.edges)
+
+    def test_triangle(self, triangle):
+        result = run_identified(triangle, GreedyMaximalMatchingIds)
+        m = result.edge_set()
+        assert is_maximal_matching(triangle, m)
+        assert len(m) == 1
+
+    def test_cycle_symmetry_broken_by_ids(self):
+        """Anonymous deterministic algorithms cannot compute a maximal
+        matching on a symmetric cycle; identifiers break the symmetry."""
+        g = from_networkx(nx.cycle_graph(8))
+        result = run_identified(g, GreedyMaximalMatchingIds)
+        assert is_maximal_matching(g, result.edge_set())
+
+    def test_custom_ids(self, triangle):
+        ids = {v: 100 - k for k, v in enumerate(triangle.nodes)}
+        result = run_identified(triangle, GreedyMaximalMatchingIds, ids=ids)
+        assert is_maximal_matching(triangle, result.edge_set())
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=nx_graphs(max_nodes=12), seed=st.integers(0, 10**6))
+    def test_always_maximal_matching(self, graph, seed):
+        g = from_networkx(graph, random_numbering(seed))
+        result = run_identified(g, GreedyMaximalMatchingIds)
+        m = result.edge_set()
+        assert is_matching(m)
+        assert is_maximal_matching(g, m)
+        assert is_edge_dominating_set(g, m)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=nx_graphs(max_nodes=9), seed=st.integers(0, 10**6))
+    def test_two_approximation(self, graph, seed):
+        g = from_networkx(graph, random_numbering(seed))
+        if g.num_edges == 0:
+            return
+        result = run_identified(g, GreedyMaximalMatchingIds)
+        assert len(result.edge_set()) <= 2 * minimum_eds_size(g)

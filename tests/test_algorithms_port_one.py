@@ -1,0 +1,79 @@
+"""Tests for the Theorem 3 algorithm (PortOneEDS)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import PortOneEDS
+from repro.eds import is_edge_dominating_set, minimum_eds_size
+from repro.matching import is_edge_cover
+from repro.portgraph import from_networkx, random_numbering
+from repro.runtime import run_anonymous
+
+from tests.conftest import port_graphs, regular_nx_graphs
+
+
+class TestBasics:
+    def test_single_edge(self, path_graph_p2):
+        result = run_anonymous(path_graph_p2, PortOneEDS)
+        assert result.rounds == 1
+        assert result.edge_set() == frozenset(path_graph_p2.edges)
+
+    def test_output_is_edges_touching_port_one(self, triangle):
+        result = run_anonymous(triangle, PortOneEDS)
+        expected = {
+            e for e in triangle.edges if 1 in (e.i, e.j)
+        }
+        assert result.edge_set() == frozenset(expected)
+
+    def test_constant_round_count(self):
+        for n in (4, 8, 16, 32):
+            g = from_networkx(nx.cycle_graph(n))
+            assert run_anonymous(g, PortOneEDS).rounds == 1
+
+    def test_covers_every_node(self):
+        g = from_networkx(nx.random_regular_graph(4, 10, seed=0))
+        result = run_anonymous(g, PortOneEDS)
+        assert is_edge_cover(g, result.edge_set())
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=port_graphs(max_nodes=10))
+def test_feasible_on_every_graph(g):
+    """On any graph (not only regular), the output dominates all edges:
+    every non-isolated node selects its port-1 edge, so the output covers
+    all non-isolated nodes."""
+    result = run_anonymous(g, PortOneEDS)
+    d = result.edge_set()
+    assert is_edge_dominating_set(g, d)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=regular_nx_graphs(degrees=(2, 3, 4), max_nodes=10),
+       seed=st.integers(0, 10**6))
+def test_ratio_bound_on_regular_graphs(graph, seed):
+    """|D| <= (4 - 2/d) |D*| on every d-regular graph.
+
+    The Theorem 3 proof gives the bound for every d (even or odd):
+    |D| <= |V| = 2|E|/d and |E| <= (2d - 1)|D*|.
+    """
+    g = from_networkx(graph, random_numbering(seed))
+    d = g.require_regular()
+    result = run_anonymous(g, PortOneEDS)
+    output_size = len(result.edge_set())
+    optimum = minimum_eds_size(g)
+    assert Fraction(output_size, optimum) <= Fraction(4) - Fraction(2, d)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=regular_nx_graphs(degrees=(2, 4), max_nodes=12),
+       seed=st.integers(0, 10**6))
+def test_size_at_most_n(graph, seed):
+    """Structural bound from the proof: |D| <= |V|."""
+    g = from_networkx(graph, random_numbering(seed))
+    result = run_anonymous(g, PortOneEDS)
+    assert len(result.edge_set()) <= g.num_nodes

@@ -1,0 +1,147 @@
+"""Tests for the Theorem 4 algorithm (RegularOddEDS)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import RegularOddEDS
+from repro.eds import is_edge_dominating_set, minimum_eds_size, regular_ratio
+from repro.matching import (
+    has_path_of_length_three,
+    is_edge_cover,
+    is_forest,
+    is_star_forest,
+)
+from repro.portgraph import (
+    all_matchings,
+    distinguishable_edge,
+    from_networkx,
+    random_numbering,
+)
+from repro.runtime import run_anonymous
+
+
+def odd_regular_graphs():
+    """Strategy producing random d-regular graphs with d odd."""
+
+    @st.composite
+    def build(draw):
+        d = draw(st.sampled_from([1, 3, 5]))
+        candidates = [n for n in range(d + 1, 15) if (n * d) % 2 == 0]
+        n = draw(st.sampled_from(candidates))
+        seed = draw(st.integers(0, 10**6))
+        graph = nx.random_regular_graph(d, n, seed=seed)
+        numbering_seed = draw(st.integers(0, 10**6))
+        return from_networkx(graph, random_numbering(numbering_seed))
+
+    return build()
+
+
+class TestBasics:
+    def test_perfect_matching_graph(self, path_graph_p2):
+        """d = 1: the algorithm selects every edge (which is optimal)."""
+        result = run_anonymous(path_graph_p2, RegularOddEDS)
+        assert result.edge_set() == frozenset(path_graph_p2.edges)
+        assert result.rounds == RegularOddEDS.total_rounds(1)
+
+    def test_k4_output(self):
+        g = from_networkx(nx.complete_graph(4))  # 3-regular
+        result = run_anonymous(g, RegularOddEDS)
+        d = result.edge_set()
+        assert is_edge_dominating_set(g, d)
+        assert is_edge_cover(g, d)
+        assert is_star_forest(d)
+
+    def test_round_count_exact(self):
+        for d, n in ((3, 8), (5, 12)):
+            g = from_networkx(nx.random_regular_graph(d, n, seed=1))
+            result = run_anonymous(g, RegularOddEDS)
+            assert result.rounds == RegularOddEDS.total_rounds(d) == 2 + 2 * d * d
+
+    def test_rounds_independent_of_n(self):
+        """Local algorithm: round count must not depend on graph size."""
+        counts = set()
+        for n in (4, 8, 16, 24):
+            g = from_networkx(nx.random_regular_graph(3, n, seed=n))
+            counts.add(run_anonymous(g, RegularOddEDS).rounds)
+        assert len(counts) == 1
+
+    def test_petersen_graph(self):
+        g = from_networkx(nx.petersen_graph())  # 3-regular
+        result = run_anonymous(g, RegularOddEDS)
+        d = result.edge_set()
+        assert is_edge_dominating_set(g, d)
+        ratio = Fraction(len(d), minimum_eds_size(g))
+        assert ratio <= regular_ratio(3)
+
+
+class TestStructuralInvariants:
+    """The invariants from the proof of Theorem 4."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=odd_regular_graphs())
+    def test_output_is_feasible_eds(self, g):
+        result = run_anonymous(g, RegularOddEDS)
+        assert is_edge_dominating_set(g, result.edge_set())
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=odd_regular_graphs())
+    def test_output_is_edge_cover(self, g):
+        """Phase I builds an edge cover and phase II preserves it."""
+        result = run_anonymous(g, RegularOddEDS)
+        assert is_edge_cover(g, result.edge_set())
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=odd_regular_graphs())
+    def test_output_is_star_forest(self, g):
+        """Phase II leaves a forest of node-disjoint stars."""
+        result = run_anonymous(g, RegularOddEDS)
+        d = result.edge_set()
+        assert is_forest(d)
+        assert not has_path_of_length_three(d)
+        assert is_star_forest(d)
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=odd_regular_graphs())
+    def test_size_bound(self, g):
+        """|D| <= d |V| / (d + 1) (each star has <= d edges)."""
+        d = g.require_regular()
+        result = run_anonymous(g, RegularOddEDS)
+        assert (d + 1) * len(result.edge_set()) <= d * g.num_nodes
+
+    @settings(max_examples=20, deadline=None)
+    @given(g=odd_regular_graphs())
+    def test_approximation_guarantee(self, g):
+        """|D| <= (4 - 6/(d+1)) |D*| (Theorem 4)."""
+        if g.num_edges > 40:
+            return  # keep the exact solver fast
+        d = g.require_regular()
+        result = run_anonymous(g, RegularOddEDS)
+        optimum = minimum_eds_size(g)
+        assert Fraction(len(result.edge_set()), optimum) <= regular_ratio(d)
+
+
+class TestDistributedLabelAgreement:
+    """The message-passing setup must agree with the centralised
+    Section 5 reference implementation."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=odd_regular_graphs())
+    def test_phase1_uses_exactly_the_matchings(self, g):
+        """Every edge the algorithm ever selects lies in some M(i, j)."""
+        result = run_anonymous(g, RegularOddEDS)
+        m_union = set()
+        for matching in all_matchings(g).values():
+            m_union |= matching
+        assert result.edge_set() <= m_union
+
+    @settings(max_examples=20, deadline=None)
+    @given(g=odd_regular_graphs())
+    def test_every_node_has_distinguishable_edge(self, g):
+        """Lemma 1 on odd-regular graphs, via the static reference."""
+        for v in g.nodes:
+            assert distinguishable_edge(g, v) is not None

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_int_lists(self):
+        args = build_parser().parse_args(["table1", "--even", "2,4"])
+        assert args.even == (2, 4)
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        code = main(["table1", "--even", "2", "--odd", "1", "--ks", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TIGHT" in out
+        assert "MISMATCH" not in out
+
+    def test_figure(self, capsys):
+        code = main(["figure", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified claims" in out
+
+    def test_rounds(self, capsys):
+        code = main(["rounds", "--degrees", "1,3", "--sizes", "12"])
+        assert code == 0
+        assert "round complexity" in capsys.readouterr().out
+
+    def test_average(self, capsys):
+        code = main(["average", "--instances", "1"])
+        assert code == 0
+        assert "summary" in capsys.readouterr().out
+
+    def test_ablation(self, capsys):
+        code = main(["ablation"])
+        assert code == 0
+        assert "ablations" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "family,algorithm",
+        [
+            ("regular", "regular_odd"),
+            ("cycle", "port_one"),
+            ("grid", "bounded_degree"),
+            ("bounded", "ids_greedy"),
+        ],
+    )
+    def test_demo_variants(self, capsys, family, algorithm):
+        code = main(
+            [
+                "demo",
+                "--family", family,
+                "--algorithm", algorithm,
+                "-n", "9",
+                "-d", "3",
+            ]
+        )
+        assert code == 0
+        assert "demo run" in capsys.readouterr().out

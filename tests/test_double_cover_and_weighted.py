@@ -1,0 +1,168 @@
+"""Tests for the standalone double-cover algorithm ([21]), the vertex
+cover corollary, and the weighted EDS substrate (§1.2)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.double_cover import (
+    DominatingTwoMatching,
+    three_approx_vertex_cover,
+)
+from repro.eds import is_edge_dominating_set, minimum_eds_size
+from repro.eds.weighted import (
+    greedy_weight_eds,
+    minimum_weight_eds,
+    total_weight,
+)
+from repro.exceptions import AlgorithmContractError
+from repro.matching import is_k_matching
+from repro.portgraph import from_networkx, random_numbering
+from repro.portgraph.numbering import factor_pairing_numbering
+from repro.runtime import run_anonymous
+
+from tests.conftest import nx_graphs
+
+
+def brute_force_min_vertex_cover(graph) -> int:
+    """Reference exact vertex cover for tiny graphs."""
+    from itertools import combinations
+
+    nodes = list(graph.nodes)
+    edges = [tuple(e.endpoints) for e in graph.edges]
+    if not edges:
+        return 0
+    for size in range(0, len(nodes) + 1):
+        for subset in combinations(nodes, size):
+            chosen = set(subset)
+            if all(u in chosen or v in chosen for u, v in edges):
+                return size
+    raise AssertionError("all nodes always cover")
+
+
+class TestDominatingTwoMatching:
+    def test_invalid_delta(self):
+        with pytest.raises(AlgorithmContractError):
+            DominatingTwoMatching(0)
+
+    def test_degree_over_promise(self):
+        g = from_networkx(nx.star_graph(4))
+        with pytest.raises(AlgorithmContractError):
+            run_anonymous(g, DominatingTwoMatching(2))
+
+    def test_round_count(self):
+        g = from_networkx(nx.cycle_graph(8))
+        factory = DominatingTwoMatching(2)
+        result = run_anonymous(g, factory)
+        assert result.rounds == factory.total_rounds() == 4
+
+    def test_breaks_nothing_on_symmetric_cycle(self):
+        """On a fully symmetric cycle everyone proposes along port 1 and
+        accepts; P is still a dominating 2-matching."""
+        g = from_networkx(nx.cycle_graph(10), factor_pairing_numbering)
+        result = run_anonymous(g, DominatingTwoMatching(2))
+        p = result.edge_set()
+        assert is_k_matching(p, 2)
+        assert is_edge_dominating_set(g, p)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=nx_graphs(max_nodes=11), seed=st.integers(0, 10**6))
+    def test_always_dominating_two_matching(self, graph, seed):
+        g = from_networkx(graph, random_numbering(seed))
+        if g.num_edges == 0:
+            return
+        result = run_anonymous(g, DominatingTwoMatching(g.max_degree))
+        p = result.edge_set()
+        assert is_k_matching(p, 2)
+        assert is_edge_dominating_set(g, p)
+
+
+class TestVertexCover:
+    def test_empty_graph(self):
+        g = from_networkx(nx.empty_graph(3))
+        assert three_approx_vertex_cover(g) == frozenset()
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=nx_graphs(max_nodes=9), seed=st.integers(0, 10**6))
+    def test_is_vertex_cover_within_factor_three(self, graph, seed):
+        """Reference [21]: the P-nodes form a vertex cover of size at
+        most 3 times the minimum vertex cover."""
+        g = from_networkx(graph, random_numbering(seed))
+        if g.num_edges == 0:
+            return
+        cover = three_approx_vertex_cover(g)
+        for e in g.edges:
+            assert e.endpoints & cover, f"edge {e!r} uncovered"
+        assert len(cover) <= 3 * brute_force_min_vertex_cover(g)
+
+
+class TestWeightedEds:
+    def unit_weights(self, g):
+        return {e: 1.0 for e in g.edges}
+
+    def test_unit_weights_match_unweighted_optimum(self):
+        for base in (nx.path_graph(6), nx.cycle_graph(7), nx.star_graph(5)):
+            g = from_networkx(base)
+            exact = minimum_weight_eds(g, self.unit_weights(g))
+            assert len(exact) == minimum_eds_size(g)
+
+    def test_weighted_optimum_can_avoid_matchings(self):
+        """With weights, the optimum EDS need not be a matching: on a
+        path a-b-c-d-e with cheap inner edges and expensive outer ones,
+        two adjacent cheap edges beat any matching."""
+        g = from_networkx(nx.path_graph(5))
+        index = {e.endpoints: e for e in g.edges}
+        weights = {
+            index[frozenset({0, 1})]: 10.0,
+            index[frozenset({1, 2})]: 1.0,
+            index[frozenset({2, 3})]: 1.0,
+            index[frozenset({3, 4})]: 10.0,
+        }
+        exact = minimum_weight_eds(g, weights)
+        assert total_weight(exact, weights) == 2.0
+        from repro.matching import is_matching
+
+        assert not is_matching(exact)
+
+    def test_rejects_missing_or_nonpositive_weights(self):
+        g = from_networkx(nx.path_graph(3))
+        with pytest.raises(AlgorithmContractError):
+            minimum_weight_eds(g, {})
+        with pytest.raises(AlgorithmContractError):
+            minimum_weight_eds(g, {e: 0.0 for e in g.edges})
+
+    def test_empty_graph(self):
+        g = from_networkx(nx.empty_graph(2))
+        assert minimum_weight_eds(g, {}) == frozenset()
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=nx_graphs(max_nodes=7), seed=st.integers(0, 10**6))
+    def test_exact_beats_or_ties_greedy(self, graph, seed):
+        g = from_networkx(graph)
+        if g.num_edges == 0 or g.num_edges > 10:
+            return
+        import random
+
+        rng = random.Random(seed)
+        weights = {e: rng.uniform(0.5, 5.0) for e in g.edges}
+        exact = minimum_weight_eds(g, weights)
+        greedy = greedy_weight_eds(g, weights)
+        assert is_edge_dominating_set(g, exact)
+        assert is_edge_dominating_set(g, greedy)
+        assert total_weight(exact, weights) <= total_weight(
+            greedy, weights
+        ) + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=nx_graphs(max_nodes=6), seed=st.integers(0, 10**6))
+    def test_exact_weighted_le_unweighted_when_weights_unit(
+        self, graph, seed
+    ):
+        g = from_networkx(graph)
+        if g.num_edges == 0 or g.num_edges > 9:
+            return
+        exact = minimum_weight_eds(g, self.unit_weights(g))
+        assert len(exact) == minimum_eds_size(g)

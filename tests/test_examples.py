@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples are part of the public deliverable; each one asserts its own
+correctness conditions internally, so running main() is a real test.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"example {name} should print something"
+
+
+def test_examples_present():
+    """The deliverable requires a quickstart plus domain scenarios."""
+    assert "quickstart" in EXAMPLES
+    assert len(EXAMPLES) >= 4

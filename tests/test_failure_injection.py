@@ -1,0 +1,124 @@
+"""Failure injection: the simulator must catch protocol violations.
+
+A production-quality simulator fails loudly on misbehaving programs
+rather than producing silently wrong science.  These tests feed the
+scheduler programs that break each rule in turn.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import (
+    InconsistentOutputError,
+    RoundLimitExceeded,
+    SimulationError,
+)
+from repro.portgraph import from_networkx
+from repro.runtime import NodeProgram, run_anonymous
+from repro.runtime.outputs import decode_edge_set
+
+
+class SendsOnBadPort(NodeProgram):
+    def send(self, rnd):
+        return {self.degree + 1: "x"}
+
+    def receive(self, rnd, inbox):
+        self.halt()
+
+
+class SendsOnZeroPort(NodeProgram):
+    def send(self, rnd):
+        return {0: "x"}
+
+    def receive(self, rnd, inbox):
+        self.halt()
+
+
+class HaltsWithBadPort(NodeProgram):
+    def send(self, rnd):
+        return {}
+
+    def receive(self, rnd, inbox):
+        self.halt({self.degree + 5})
+
+
+class HaltsWithNegativePort(NodeProgram):
+    def send(self, rnd):
+        return {}
+
+    def receive(self, rnd, inbox):
+        self.halt({-1})
+
+
+class Spins(NodeProgram):
+    def send(self, rnd):
+        return {i: rnd for i in range(1, self.degree + 1)}
+
+    def receive(self, rnd, inbox):
+        pass
+
+
+class AsymmetricOutput(NodeProgram):
+    """Degree-1 nodes select their edge only if ... nothing: a program
+    whose output depends on nothing shared, breaking §2.2 consistency."""
+
+    counter = 0
+
+    def send(self, rnd):
+        return {}
+
+    def receive(self, rnd, inbox):
+        AsymmetricOutput.counter += 1
+        if AsymmetricOutput.counter % 2:
+            self.halt({1})
+        else:
+            self.halt(frozenset())
+
+
+@pytest.fixture
+def triangle_graph():
+    return from_networkx(nx.complete_graph(3))
+
+
+class TestSchedulerGuards:
+    def test_bad_send_port_high(self, triangle_graph):
+        with pytest.raises(SimulationError):
+            run_anonymous(triangle_graph, SendsOnBadPort)
+
+    def test_bad_send_port_zero(self, triangle_graph):
+        with pytest.raises(SimulationError):
+            run_anonymous(triangle_graph, SendsOnZeroPort)
+
+    def test_bad_halt_port(self, triangle_graph):
+        with pytest.raises(SimulationError):
+            run_anonymous(triangle_graph, HaltsWithBadPort)
+
+    def test_negative_halt_port(self, triangle_graph):
+        with pytest.raises(SimulationError):
+            run_anonymous(triangle_graph, HaltsWithNegativePort)
+
+    def test_round_limit_guard(self, triangle_graph):
+        with pytest.raises(RoundLimitExceeded):
+            run_anonymous(triangle_graph, Spins, max_rounds=25)
+
+    def test_round_limit_message_mentions_counts(self, triangle_graph):
+        with pytest.raises(RoundLimitExceeded, match="3 node"):
+            run_anonymous(triangle_graph, Spins, max_rounds=5)
+
+
+class TestOutputGuards:
+    def test_inconsistent_output_detected_on_decode(self):
+        graph = from_networkx(nx.path_graph(2))
+        AsymmetricOutput.counter = 0
+        result = run_anonymous(graph, AsymmetricOutput)
+        with pytest.raises(InconsistentOutputError):
+            decode_edge_set(graph, result.outputs)
+
+    def test_decode_error_names_offender(self):
+        graph = from_networkx(nx.path_graph(2))
+        with pytest.raises(InconsistentOutputError, match="X"):
+            decode_edge_set(
+                graph, {0: frozenset({1}), 1: frozenset()}
+            )

@@ -1,0 +1,114 @@
+"""Algorithm × graph-family matrix: feasibility and guarantees on every
+generator family the package ships.
+
+Each cell runs an applicable algorithm on a family instance and checks
+feasibility plus the Table 1 guarantee against the exact optimum (small
+instances) — broad integration coverage complementing the random and
+adversarial tests.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import BoundedDegreeEDS, PortOneEDS, RegularOddEDS
+from repro.eds import (
+    bounded_degree_ratio,
+    is_edge_dominating_set,
+    minimum_eds_size,
+    regular_ratio,
+)
+from repro.generators import (
+    caterpillar,
+    circulant,
+    complete,
+    complete_bipartite,
+    crown,
+    cycle,
+    grid,
+    hypercube,
+    path,
+    petersen,
+    random_tree,
+    star,
+    torus,
+)
+from repro.runtime import run_anonymous
+
+REGULAR_FAMILIES = [
+    ("cycle-9", lambda: cycle(9), 2),
+    ("complete-5", lambda: complete(5), 4),
+    ("complete-6", lambda: complete(6), 5),
+    ("bipartite-3x3", lambda: complete_bipartite(3, 3), 3),
+    ("circulant-8", lambda: circulant(8, (1, 2)), 4),
+    ("hypercube-3", lambda: hypercube(3), 3),
+    ("torus-3x3", lambda: torus(3, 3), 4),
+    ("petersen", lambda: petersen(), 3),
+    ("crown-4", lambda: crown(4), 3),
+]
+
+BOUNDED_FAMILIES = [
+    ("path-8", lambda: path(8), 2),
+    ("grid-3x4", lambda: grid(3, 4), 4),
+    ("tree-10", lambda: random_tree(10, seed=4), None),
+    ("star-6", lambda: star(6), 6),
+    ("caterpillar", lambda: caterpillar(4, 2), 4),
+]
+
+
+class TestPortOneOnRegularFamilies:
+    @pytest.mark.parametrize("name,make,d", REGULAR_FAMILIES)
+    def test_feasible_and_within_bound(self, name, make, d):
+        g = make()
+        assert g.regularity() == d
+        result = run_anonymous(g, PortOneEDS)
+        solution = result.edge_set()
+        assert is_edge_dominating_set(g, solution), name
+        optimum = minimum_eds_size(g)
+        assert Fraction(len(solution), optimum) <= Fraction(4) - Fraction(
+            2, d
+        ), name
+
+
+class TestRegularOddOnOddFamilies:
+    @pytest.mark.parametrize(
+        "name,make,d",
+        [f for f in REGULAR_FAMILIES if f[2] % 2 == 1],
+    )
+    def test_feasible_and_within_bound(self, name, make, d):
+        g = make()
+        result = run_anonymous(g, RegularOddEDS)
+        solution = result.edge_set()
+        assert is_edge_dominating_set(g, solution), name
+        optimum = minimum_eds_size(g)
+        assert Fraction(len(solution), optimum) <= regular_ratio(d), name
+
+
+class TestBoundedDegreeEverywhere:
+    @pytest.mark.parametrize(
+        "name,make,delta", REGULAR_FAMILIES + BOUNDED_FAMILIES
+    )
+    def test_feasible_and_within_bound(self, name, make, delta):
+        g = make()
+        max_degree = delta if delta is not None else g.max_degree
+        result = run_anonymous(g, BoundedDegreeEDS(max_degree))
+        solution = result.edge_set()
+        assert is_edge_dominating_set(g, solution), name
+        optimum = minimum_eds_size(g)
+        if optimum:
+            assert Fraction(len(solution), optimum) <= bounded_degree_ratio(
+                max(max_degree, 2)
+            ), name
+
+    def test_isolated_plus_edges(self):
+        """Mixed graph: isolated nodes and a matching component."""
+        import networkx as nx
+        from repro.portgraph import from_networkx
+
+        base = nx.Graph([(0, 1)])
+        base.add_nodes_from([7, 8])
+        g = from_networkx(base)
+        result = run_anonymous(g, BoundedDegreeEDS(1))
+        assert result.edge_set() == frozenset(g.edges)

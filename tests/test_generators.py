@@ -1,0 +1,133 @@
+"""Tests for the graph family generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConstructionError
+from repro.generators import (
+    caterpillar,
+    circulant,
+    complete,
+    complete_bipartite,
+    component_h_nx,
+    crown,
+    crown_nx,
+    cycle,
+    grid,
+    hypercube,
+    matching_union,
+    path,
+    petersen,
+    random_bounded_degree,
+    random_regular,
+    random_tree,
+    star,
+    torus,
+)
+
+
+class TestRegularFamilies:
+    def test_random_regular(self):
+        g = random_regular(3, 10, seed=1)
+        assert g.regularity() == 3
+        assert g.num_nodes == 10
+
+    def test_random_regular_rejects_impossible(self):
+        with pytest.raises(ConstructionError):
+            random_regular(3, 5)  # n*d odd
+        with pytest.raises(ConstructionError):
+            random_regular(5, 4)  # n <= d
+
+    def test_cycle(self):
+        g = cycle(7)
+        assert g.regularity() == 2
+        assert g.num_edges == 7
+        with pytest.raises(ConstructionError):
+            cycle(2)
+
+    def test_complete(self):
+        g = complete(5)
+        assert g.regularity() == 4
+        assert g.num_edges == 10
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 3)
+        assert g.regularity() == 3
+        irregular = complete_bipartite(2, 4)
+        assert irregular.regularity() is None
+
+    def test_circulant(self):
+        g = circulant(8, (1, 2))
+        assert g.regularity() == 4
+
+    def test_hypercube(self):
+        g = hypercube(3)
+        assert g.regularity() == 3
+        assert g.num_nodes == 8
+
+    def test_torus(self):
+        g = torus(3, 4)
+        assert g.regularity() == 4
+        assert g.num_nodes == 12
+
+    def test_petersen(self):
+        g = petersen()
+        assert g.regularity() == 3
+        assert g.num_nodes == 10
+
+    def test_random_numbering_changes_ports(self):
+        a = random_regular(3, 10, seed=5)
+        b = random_regular(3, 10, seed=5)
+        assert a == b  # deterministic given seed
+
+
+class TestBoundedFamilies:
+    def test_random_bounded_degree(self):
+        g = random_bounded_degree(15, 4, seed=3)
+        assert g.max_degree <= 4
+        assert g.num_nodes == 15
+
+    def test_path_and_star(self):
+        assert path(5).max_degree == 2
+        assert star(6).max_degree == 6
+        assert star(6).num_edges == 6
+
+    def test_grid(self):
+        g = grid(3, 4)
+        assert g.max_degree <= 4
+        assert g.num_nodes == 12
+
+    def test_random_tree(self):
+        g = random_tree(12, seed=2)
+        assert g.num_edges == 11
+        single = random_tree(1)
+        assert single.num_nodes == 1
+
+    def test_caterpillar(self):
+        g = caterpillar(4, 2)
+        assert g.num_nodes == 4 + 8
+        assert g.num_edges == 3 + 8
+
+
+class TestSpecialFamilies:
+    def test_crown(self):
+        g = crown(4)
+        assert g.regularity() == 3
+        assert g.num_nodes == 8
+        nx_g = crown_nx(3)
+        assert nx_g.number_of_edges() == 6  # K33 minus matching
+
+    def test_crown_rejects_small(self):
+        with pytest.raises(ConstructionError):
+            crown_nx(1)
+
+    def test_matching_union(self):
+        g = matching_union(4)
+        assert g.regularity() == 1
+        assert g.num_edges == 4
+
+    def test_component_h(self):
+        h = component_h_nx(2)
+        assert h.number_of_nodes() == 9
+        assert {d for _, d in h.degree()} == {4}

@@ -1,0 +1,76 @@
+"""Tests for JSON serialisation of port-numbered graphs."""
+
+from __future__ import annotations
+
+import json
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import GraphValidationError
+from repro.portgraph import from_networkx
+from repro.portgraph.io import (
+    dump_graph,
+    graph_from_json,
+    graph_to_json,
+    load_graph,
+)
+
+from tests.conftest import port_graphs
+
+
+class TestRoundTrip:
+    def test_simple_graph(self, triangle):
+        assert graph_from_json(graph_to_json(triangle)) == triangle
+
+    def test_multigraph_with_loops(self, multigraph_m):
+        document = graph_to_json(multigraph_m)
+        # the directed loop is a single-port orbit
+        assert any(len(orbit) == 1 for orbit in document["connections"])
+        assert graph_from_json(document) == multigraph_m
+
+    def test_document_is_json_serialisable(self, figure2_like_h):
+        text = json.dumps(graph_to_json(figure2_like_h))
+        assert graph_from_json(json.loads(text)) == figure2_like_h
+
+    def test_file_round_trip(self, tmp_path, triangle):
+        path = tmp_path / "graph.json"
+        dump_graph(triangle, str(path))
+        assert load_graph(str(path)) == triangle
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=port_graphs(max_nodes=8))
+    def test_random_graphs_round_trip(self, g):
+        assert graph_from_json(graph_to_json(g)) == g
+
+
+class TestValidation:
+    def test_missing_keys_rejected(self):
+        with pytest.raises(GraphValidationError):
+            graph_from_json({})
+
+    def test_bad_orbit_rejected(self):
+        with pytest.raises(GraphValidationError):
+            graph_from_json(
+                {
+                    "nodes": [{"id": "u", "degree": 3}],
+                    "connections": [[["u", 1], ["u", 2], ["u", 3]]],
+                }
+            )
+
+    def test_non_json_nodes_rejected(self):
+        g = from_networkx(
+            nx.relabel_nodes(nx.path_graph(2), {0: (0, 0), 1: (1, 1)})
+        )
+        with pytest.raises(GraphValidationError):
+            graph_to_json(g)
+
+    def test_inconsistent_document_rejected(self):
+        with pytest.raises(Exception):
+            graph_from_json(
+                {
+                    "nodes": [{"id": "u", "degree": 2}],
+                    "connections": [[["u", 1], ["u", 1]]],
+                }
+            )

@@ -1,0 +1,66 @@
+"""Exact solver vs. closed-form minimum-maximal-matching values.
+
+γ'(G) denotes the minimum EDS / minimum maximal matching size.  Known
+formulas (Yannakakis-Gavril [25] and folklore):
+
+* paths:    γ'(P_n) = ceil((n - 1) / 3)
+* cycles:   γ'(C_n) = ceil(n / 3)
+* complete: γ'(K_n) = floor(n / 2) (any two unmatched nodes would leave
+  an undominated edge between them)
+* stars:    γ'(K_{1,m}) = 1
+* complete bipartite: γ'(K_{a,b}) = min(a, b) (a maximal matching must
+  exhaust one side, else an uncovered edge crosses the leftovers)
+
+Each formula is asserted against the branch-and-bound solver, making
+these tests an independent ground-truth check of the exact optimum that
+all ratio measurements rely on.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.eds import minimum_eds_size
+from repro.portgraph import from_networkx
+
+
+@pytest.mark.parametrize("n", range(2, 12))
+def test_paths(n):
+    expected = -(-(n - 1) // 3)  # ceil((n-1)/3)
+    assert minimum_eds_size(from_networkx(nx.path_graph(n))) == expected
+
+
+@pytest.mark.parametrize("n", range(3, 13))
+def test_cycles(n):
+    expected = -(-n // 3)  # ceil(n/3)
+    assert minimum_eds_size(from_networkx(nx.cycle_graph(n))) == expected
+
+
+@pytest.mark.parametrize("n", range(2, 9))
+def test_complete_graphs(n):
+    assert minimum_eds_size(from_networkx(nx.complete_graph(n))) == n // 2
+
+
+@pytest.mark.parametrize("m", range(1, 8))
+def test_stars(m):
+    assert minimum_eds_size(from_networkx(nx.star_graph(m))) == 1
+
+
+@pytest.mark.parametrize("a,b", [(1, 1), (1, 4), (2, 2), (2, 5), (3, 3), (3, 4)])
+def test_complete_bipartite(a, b):
+    graph = from_networkx(nx.complete_bipartite_graph(a, b))
+    assert minimum_eds_size(graph) == min(a, b)
+
+
+def test_petersen_graph():
+    # The Petersen graph has γ' = 3 (a known value).
+    assert minimum_eds_size(from_networkx(nx.petersen_graph())) == 3
+
+
+@pytest.mark.parametrize("dim,expected", [(1, 1), (2, 2), (3, 3)])
+def test_hypercubes(dim, expected):
+    graph = from_networkx(
+        nx.convert_node_labels_to_integers(nx.hypercube_graph(dim))
+    )
+    assert minimum_eds_size(graph) == expected

@@ -1,0 +1,102 @@
+"""Tests for the §1.1 line-graph correspondences (repro.eds.linegraph).
+
+These verify, on concrete graphs, the structural chain the paper cites:
+line graphs are claw-free, dominating sets of L(G) are EDSs of G, and
+maximal independent sets of L(G) are maximal matchings of G.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.eds import is_edge_dominating_set, minimum_edge_dominating_set
+from repro.eds.linegraph import (
+    is_claw_free,
+    is_dominating_set,
+    is_independent_set,
+    is_maximal_independent_set,
+    line_graph_adjacency,
+)
+from repro.matching import greedy_maximal_matching, is_maximal_matching, is_matching
+from repro.portgraph import from_networkx
+
+from tests.conftest import port_graphs
+
+
+class TestLineGraph:
+    def test_path_line_graph_is_path(self):
+        g = from_networkx(nx.path_graph(4))  # P4 -> L(P4) = P3
+        adjacency = line_graph_adjacency(g)
+        assert len(adjacency) == 3
+        degrees = sorted(len(nbrs) for nbrs in adjacency.values())
+        assert degrees == [1, 1, 2]
+
+    def test_star_line_graph_is_complete(self):
+        g = from_networkx(nx.star_graph(4))  # L(K_{1,4}) = K4
+        adjacency = line_graph_adjacency(g)
+        assert all(len(nbrs) == 3 for nbrs in adjacency.values())
+
+    def test_claw_itself_detected(self):
+        # an explicit K_{1,3}: centre adjacent to 3 mutually
+        # non-adjacent leaves — must be flagged as containing a claw
+        claw = {
+            "c": frozenset({"x", "y", "z"}),
+            "x": frozenset({"c"}),
+            "y": frozenset({"c"}),
+            "z": frozenset({"c"}),
+        }
+        assert not is_claw_free(claw)
+
+    @settings(max_examples=40, deadline=None)
+    @given(g=port_graphs(max_nodes=9))
+    def test_line_graphs_are_claw_free(self, g):
+        """Paper §1.1: 'the line graph L(G) of any graph G is claw-free'."""
+        assert is_claw_free(line_graph_adjacency(g))
+
+
+class TestCorrespondences:
+    @settings(max_examples=30, deadline=None)
+    @given(g=port_graphs(max_nodes=8))
+    def test_eds_iff_dominating_set(self, g):
+        """D is an EDS of G iff D is a dominating set of L(G)."""
+        if g.num_edges == 0:
+            return
+        adjacency = line_graph_adjacency(g)
+        eds = minimum_edge_dominating_set(g) if g.num_edges <= 14 else (
+            frozenset(g.edges)
+        )
+        assert is_edge_dominating_set(g, eds)
+        assert is_dominating_set(adjacency, eds)
+        # and a non-EDS is not a dominating set
+        if len(eds) >= 1:
+            smaller = frozenset(sorted(eds, key=repr)[1:])
+            assert is_edge_dominating_set(g, smaller) == is_dominating_set(
+                adjacency, smaller
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=port_graphs(max_nodes=8))
+    def test_matching_iff_independent(self, g):
+        """M is a matching of G iff M is independent in L(G)."""
+        adjacency = line_graph_adjacency(g)
+        m = greedy_maximal_matching(g)
+        assert is_matching(m)
+        assert is_independent_set(adjacency, m)
+        # two adjacent edges are dependent in L(G)
+        for e in g.edges:
+            for f in adjacency[e]:
+                assert not is_independent_set(adjacency, {e, f})
+            break
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=port_graphs(max_nodes=8))
+    def test_maximal_matching_iff_maximal_independent(self, g):
+        """M is a maximal matching of G iff M is a maximal independent
+        set of L(G) (paper §1.1)."""
+        adjacency = line_graph_adjacency(g)
+        m = greedy_maximal_matching(g)
+        assert is_maximal_matching(g, m) == is_maximal_independent_set(
+            adjacency, m
+        )
+        assert is_maximal_independent_set(adjacency, m)

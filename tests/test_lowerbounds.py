@@ -1,0 +1,169 @@
+"""Tests for the Theorem 1/2 lower-bound constructions and the adversary
+driver — the end-to-end tightness differential tests of Table 1."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import BoundedDegreeEDS, PortOneEDS, RegularOddEDS
+from repro.eds import (
+    is_edge_dominating_set,
+    minimum_eds_size,
+    regular_ratio,
+)
+from repro.exceptions import ConstructionError
+from repro.lowerbounds import (
+    build_even_lower_bound,
+    build_odd_lower_bound,
+    run_adversary,
+)
+from repro.portgraph import verify_covering_map
+
+
+class TestEvenConstruction:
+    @pytest.mark.parametrize("d", [2, 4, 6, 8])
+    def test_structure(self, d):
+        inst = build_even_lower_bound(d)
+        assert inst.graph.regularity() == d
+        assert inst.graph.num_nodes == 2 * d - 1
+        assert inst.graph.num_edges == d * (2 * d - 1) // 2
+        assert inst.optimum_size == d // 2
+        assert inst.forced_ratio == regular_ratio(d)
+
+    @pytest.mark.parametrize("d", [2, 4, 6])
+    def test_quotient_is_single_node(self, d):
+        inst = build_even_lower_bound(d)
+        assert inst.quotient.num_nodes == 1
+        verify_covering_map(inst.graph, inst.quotient, inst.covering_map)
+
+    @pytest.mark.parametrize("d", [2, 4])
+    def test_claimed_optimum_is_truly_minimum(self, d):
+        inst = build_even_lower_bound(d)
+        assert minimum_eds_size(inst.graph) == inst.optimum_size
+
+    def test_rejects_odd_or_small(self):
+        with pytest.raises(ConstructionError):
+            build_even_lower_bound(3)
+        with pytest.raises(ConstructionError):
+            build_even_lower_bound(0)
+
+    @pytest.mark.parametrize("d", [2, 4, 6])
+    def test_no_node_has_distinguishable_neighbour(self, d):
+        """The adversarial numbering erases all local asymmetry."""
+        from repro.portgraph import distinguishable_neighbour
+
+        inst = build_even_lower_bound(d)
+        for v in inst.graph.nodes:
+            assert distinguishable_neighbour(inst.graph, v) is None
+
+
+class TestOddConstruction:
+    @pytest.mark.parametrize("d", [1, 3, 5, 7])
+    def test_structure(self, d):
+        k = (d - 1) // 2
+        inst = build_odd_lower_bound(d)
+        assert inst.graph.regularity() == d
+        # d components of 4k+1 nodes, plus d + 2k hub nodes
+        assert inst.graph.num_nodes == d * (4 * k + 1) + d + 2 * k
+        assert inst.optimum_size == (k + 1) * d
+        assert inst.forced_ratio == regular_ratio(d)
+
+    @pytest.mark.parametrize("d", [1, 3, 5])
+    def test_quotient_shape(self, d):
+        inst = build_odd_lower_bound(d)
+        assert inst.quotient.num_nodes == d + 1
+        verify_covering_map(inst.graph, inst.quotient, inst.covering_map)
+
+    def test_claimed_optimum_is_truly_minimum_d3(self):
+        inst = build_odd_lower_bound(3)
+        assert minimum_eds_size(inst.graph) == inst.optimum_size == 6
+
+    def test_optimum_dominates(self):
+        inst = build_odd_lower_bound(5)
+        assert is_edge_dominating_set(inst.graph, inst.optimum)
+
+    def test_rejects_even(self):
+        with pytest.raises(ConstructionError):
+            build_odd_lower_bound(4)
+
+
+class TestTightnessEven:
+    """Theorem 1 + Theorem 3: the measured ratio must be *exactly* 4-2/d."""
+
+    @pytest.mark.parametrize("d", [2, 4, 6, 8, 10])
+    def test_port_one_achieves_bound_exactly(self, d):
+        inst = build_even_lower_bound(d)
+        report = run_adversary(inst, PortOneEDS)
+        assert report.feasible
+        assert report.fibres_uniform
+        assert report.is_tight, (
+            f"expected ratio {inst.forced_ratio}, measured {report.ratio}"
+        )
+
+    @pytest.mark.parametrize("d", [2, 4, 6])
+    def test_bounded_degree_algorithm_cannot_beat_bound(self, d):
+        """Corollary 1: A(Δ) on the even construction with Δ = d is forced
+        to (and achieves) 4 - 1/k with k = d/2."""
+        inst = build_even_lower_bound(d)
+        report = run_adversary(inst, BoundedDegreeEDS(d))
+        assert report.feasible
+        assert report.fibres_uniform
+        assert report.meets_lower_bound
+        assert report.ratio == Fraction(4) - Fraction(2, d)
+
+    @pytest.mark.parametrize("d", [2, 4, 6])
+    def test_bounded_degree_next_odd_delta(self, d):
+        """A(Δ) with Δ = d + 1 (odd) has the same tight guarantee."""
+        inst = build_even_lower_bound(d)
+        report = run_adversary(inst, BoundedDegreeEDS(d + 1))
+        assert report.feasible
+        assert report.ratio == Fraction(4) - Fraction(2, d)
+
+
+class TestTightnessOdd:
+    """Theorem 2 + Theorem 4: the measured ratio must be *exactly*
+    4 - 6/(d+1)."""
+
+    @pytest.mark.parametrize("d", [1, 3, 5, 7])
+    def test_regular_odd_achieves_bound_exactly(self, d):
+        inst = build_odd_lower_bound(d)
+        report = run_adversary(inst, RegularOddEDS)
+        assert report.feasible
+        assert report.fibres_uniform
+        assert report.is_tight, (
+            f"expected ratio {inst.forced_ratio}, measured {report.ratio}"
+        )
+
+    @pytest.mark.parametrize("d", [3, 5])
+    def test_round_count_on_construction(self, d):
+        inst = build_odd_lower_bound(d)
+        report = run_adversary(inst, RegularOddEDS)
+        assert report.rounds == RegularOddEDS.total_rounds(d)
+
+    @pytest.mark.parametrize("d", [2, 4])
+    def test_theorem4_machinery_collapses_on_even_construction(self, d):
+        """On the even construction no node has a distinguishable
+        neighbour, so Theorem 4's phase I selects nothing and the output
+        is infeasible — exactly why the even case needs Theorem 3."""
+        from repro.exceptions import AlgorithmContractError
+        from repro.lowerbounds import run_adversary as run
+
+        inst = build_even_lower_bound(d)
+        with pytest.raises(AlgorithmContractError):
+            run(inst, RegularOddEDS)
+        report = run(inst, RegularOddEDS, require_feasible=False)
+        assert not report.feasible
+        assert report.solution_size == 0
+
+    @pytest.mark.parametrize("d", [3, 5])
+    def test_port_one_on_odd_is_worse_than_theorem4(self, d):
+        """PortOne is feasible on odd-regular too, but cannot beat the
+        even-style bound; Theorem 4's algorithm is strictly better here."""
+        inst = build_odd_lower_bound(d)
+        port_one = run_adversary(inst, PortOneEDS)
+        theorem4 = run_adversary(inst, RegularOddEDS)
+        assert port_one.feasible
+        assert theorem4.ratio <= port_one.ratio
+        assert theorem4.ratio == inst.forced_ratio

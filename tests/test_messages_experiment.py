@@ -1,0 +1,37 @@
+"""Tests for the E17 message-complexity experiment."""
+
+from __future__ import annotations
+
+from repro.experiments.messages import (
+    format_messages,
+    message_complexity_sweep,
+)
+
+
+class TestMessageSweep:
+    def test_rows_and_expectations(self):
+        rows = message_complexity_sweep(odd_degrees=(3,), sizes=(16, 32))
+        assert len(rows) == 6  # 3 algorithms x 2 sizes
+        port_one = [r for r in rows if r.algorithm == "port_one"]
+        for r in port_one:
+            # exactly one message per port
+            assert r.total_messages == r.max_round_messages
+            assert r.rounds == 1
+
+    def test_setup_rounds_are_traffic_peak(self):
+        rows = message_complexity_sweep(odd_degrees=(5,), sizes=(16,))
+        theorem4 = next(r for r in rows if r.algorithm == "regular_odd")
+        # the setup broadcast uses every port; nothing later exceeds it
+        assert theorem4.max_round_messages == 5 * 16
+
+    def test_per_node_traffic_flat_in_n(self):
+        rows = message_complexity_sweep(odd_degrees=(3,), sizes=(16, 64))
+        bounded = [r for r in rows if r.algorithm == "bounded_degree"]
+        a, b = (r.messages_per_node for r in bounded)
+        assert abs(a - b) < 0.3 * max(a, b)
+
+    def test_formatting(self):
+        rows = message_complexity_sweep(odd_degrees=(3,), sizes=(16,))
+        text = format_messages(rows)
+        assert "message complexity" in text
+        assert "msgs/node" in text

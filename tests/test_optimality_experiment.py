@@ -1,0 +1,49 @@
+"""Tests for the E16 optimality experiment and new CLI subcommands."""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.experiments.optimality import (
+    format_optimality,
+    recompute_lower_bounds,
+)
+
+
+class TestOptimalityExperiment:
+    def test_small_recompute_all_match(self):
+        rows = recompute_lower_bounds(even_degrees=(2, 4), odd_degrees=(1, 3))
+        assert all(r.matches for r in rows)
+
+    def test_quotient_sizes(self):
+        rows = recompute_lower_bounds(even_degrees=(4,), odd_degrees=(3,))
+        by_family = {r.family: r for r in rows}
+        assert by_family["regular-even"].quotient_nodes == 1
+        assert by_family["regular-odd"].quotient_nodes == 4  # d + 1
+
+    def test_formatting(self):
+        rows = recompute_lower_bounds(even_degrees=(2,), odd_degrees=())
+        text = format_optimality(rows)
+        assert "MATCH" in text
+        assert "MISMATCH" not in text
+
+
+class TestVerifyAndRenderCli:
+    def test_verify_fast(self, capsys):
+        assert main(["verify", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "VERDICT: all reproduction checks passed" in out
+
+    def test_render_even(self, capsys):
+        assert main(["render", "even", "-d", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+        assert "quotient multigraph" in out
+
+    def test_render_odd(self, capsys):
+        assert main(["render", "odd", "-d", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 2" in out
+
+    def test_render_adjusts_parity(self, capsys):
+        assert main(["render", "even", "-d", "3"]) == 0
+        assert "d = 4" in capsys.readouterr().out

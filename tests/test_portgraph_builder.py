@@ -1,0 +1,96 @@
+"""Tests for PortGraphBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphValidationError, PortNumberingError
+from repro.portgraph import PortGraphBuilder
+
+
+class TestDeclaration:
+    def test_redeclare_same_degree_is_noop(self):
+        b = PortGraphBuilder()
+        b.add_node("u", 2)
+        b.add_node("u", 2)
+
+    def test_redeclare_different_degree_fails(self):
+        b = PortGraphBuilder()
+        b.add_node("u", 2)
+        with pytest.raises(GraphValidationError):
+            b.add_node("u", 3)
+
+    def test_negative_degree_fails(self):
+        b = PortGraphBuilder()
+        with pytest.raises(PortNumberingError):
+            b.add_node("u", -1)
+
+    def test_add_nodes_bulk(self):
+        b = PortGraphBuilder()
+        b.add_nodes({"u": 1, "v": 1})
+        b.connect("u", 1, "v", 1)
+        assert b.build().num_nodes == 2
+
+
+class TestConnecting:
+    def test_unknown_node_fails(self):
+        b = PortGraphBuilder()
+        b.add_node("u", 1)
+        with pytest.raises(GraphValidationError):
+            b.connect("u", 1, "ghost", 1)
+
+    def test_port_out_of_range_fails(self):
+        b = PortGraphBuilder()
+        b.add_nodes({"u": 1, "v": 1})
+        with pytest.raises(PortNumberingError):
+            b.connect("u", 2, "v", 1)
+        with pytest.raises(PortNumberingError):
+            b.connect("u", 0, "v", 1)
+
+    def test_double_connect_fails(self):
+        b = PortGraphBuilder()
+        b.add_nodes({"u": 1, "v": 1, "w": 1})
+        b.connect("u", 1, "v", 1)
+        with pytest.raises(GraphValidationError):
+            b.connect("u", 1, "w", 1)
+
+    def test_fixed_point(self):
+        b = PortGraphBuilder()
+        b.add_node("v", 1)
+        b.connect_fixed_point("v", 1)
+        g = b.build()
+        assert g.connection("v", 1) == ("v", 1)
+        assert g.edges[0].is_directed_loop
+
+    def test_undirected_loop(self):
+        b = PortGraphBuilder()
+        b.add_node("v", 2)
+        b.connect("v", 1, "v", 2)
+        g = b.build()
+        assert g.num_edges == 1
+        assert g.edges[0].is_loop
+        assert not g.edges[0].is_directed_loop
+
+
+class TestCompletion:
+    def test_incomplete_build_fails(self):
+        b = PortGraphBuilder()
+        b.add_nodes({"u": 2, "v": 1})
+        b.connect("u", 1, "v", 1)
+        assert not b.is_complete()
+        assert b.unconnected_ports() == [("u", 2)]
+        with pytest.raises(GraphValidationError):
+            b.build()
+
+    def test_complete_build(self):
+        b = PortGraphBuilder()
+        b.add_nodes({"u": 2, "v": 2})
+        b.connect("u", 1, "v", 2)
+        b.connect("u", 2, "v", 1)
+        assert b.is_complete()
+        g = b.build()
+        assert g.num_edges == 2
+
+    def test_empty_builder_builds_empty_graph(self):
+        g = PortGraphBuilder().build()
+        assert g.num_nodes == 0

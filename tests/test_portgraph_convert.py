@@ -1,0 +1,170 @@
+"""Tests for networkx conversion and numbering strategies."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphValidationError, NotRegularGraphError
+from repro.portgraph import (
+    from_neighbour_orders,
+    from_networkx,
+    random_numbering,
+    to_networkx,
+    to_simple_networkx,
+)
+from repro.portgraph.numbering import factor_pairing_numbering
+
+from tests.conftest import nx_graphs, regular_nx_graphs
+
+
+class TestFromNeighbourOrders:
+    def test_basic(self):
+        g = from_neighbour_orders({"u": ["v"], "v": ["u"]})
+        assert g.num_edges == 1
+        assert g.connection("u", 1) == ("v", 1)
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_neighbour_orders({"u": ["v"], "v": []})
+
+    def test_duplicate_neighbour_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_neighbour_orders({"u": ["v", "v"], "v": ["u", "u"]})
+
+    def test_unknown_neighbour_rejected(self):
+        with pytest.raises(GraphValidationError):
+            from_neighbour_orders({"u": ["ghost"]})
+
+    def test_port_order_matches_positions(self):
+        g = from_neighbour_orders(
+            {"u": ["w", "v"], "v": ["u"], "w": ["u"]}
+        )
+        assert g.neighbour("u", 1) == "w"
+        assert g.neighbour("u", 2) == "v"
+
+
+class TestFromNetworkx:
+    def test_rejects_directed(self):
+        with pytest.raises(GraphValidationError):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_rejects_multigraph(self):
+        with pytest.raises(GraphValidationError):
+            from_networkx(nx.MultiGraph([(0, 1), (0, 1)]))
+
+    def test_rejects_self_loop(self):
+        g = nx.Graph()
+        g.add_edge(0, 0)
+        with pytest.raises(GraphValidationError):
+            from_networkx(g)
+
+    def test_sequential_default(self):
+        g = from_networkx(nx.path_graph(3))
+        # node 1's neighbours sorted by repr: 0 then 2
+        assert g.neighbour(1, 1) == 0
+        assert g.neighbour(1, 2) == 2
+
+    def test_strategy_must_cover_nodes(self):
+        def bad(graph):
+            return {0: []}
+
+        with pytest.raises(GraphValidationError):
+            from_networkx(nx.path_graph(3), bad)
+
+    def test_strategy_must_return_right_neighbours(self):
+        def bad(graph):
+            return {v: tuple(graph.nodes) for v in graph.nodes}
+
+        with pytest.raises(GraphValidationError):
+            from_networkx(nx.path_graph(3), bad)
+
+
+class TestToNetworkx:
+    def test_round_trip_simple(self):
+        original = nx.petersen_graph()
+        g = from_networkx(original)
+        back = to_simple_networkx(g)
+        assert nx.is_isomorphic(original, back)
+        assert set(back.nodes) == set(original.nodes)
+        assert {frozenset(e) for e in back.edges} == {
+            frozenset(e) for e in original.edges
+        }
+
+    def test_multigraph_projection(self, multigraph_m):
+        back = to_networkx(multigraph_m)
+        assert back.number_of_edges() == 4
+        loops = [
+            (u, v, d)
+            for u, v, d in back.edges(data=True)
+            if u == v
+        ]
+        assert len(loops) == 2
+        assert sum(1 for *_, d in loops if d["directed_loop"]) == 1
+
+
+class TestRandomNumbering:
+    def test_deterministic_given_seed(self):
+        g = nx.random_regular_graph(3, 10, seed=7)
+        a = from_networkx(g, random_numbering(42))
+        b = from_networkx(g, random_numbering(42))
+        assert a == b
+
+    def test_different_seeds_usually_differ(self):
+        g = nx.complete_graph(6)
+        a = from_networkx(g, random_numbering(1))
+        b = from_networkx(g, random_numbering(2))
+        assert a != b
+
+
+class TestFactorPairingNumbering:
+    def test_rejects_odd_regular(self):
+        with pytest.raises(NotRegularGraphError):
+            factor_pairing_numbering(nx.complete_graph(4))  # 3-regular
+
+    def test_rejects_irregular(self):
+        with pytest.raises(NotRegularGraphError):
+            factor_pairing_numbering(nx.path_graph(4))
+
+    def test_cycle_gets_fully_symmetric_numbering(self):
+        g = from_networkx(nx.cycle_graph(5), factor_pairing_numbering)
+        # Every edge must have label pair {1, 2}.
+        for e in g.edges:
+            assert {e.i, e.j} == {1, 2}
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.sampled_from([5, 6, 7, 8, 9]),
+        d=st.sampled_from([2, 4]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_every_edge_pairs_odd_even(self, n, d, seed):
+        if n <= d:
+            n = d + 1 + (d % 2)
+        graph = nx.random_regular_graph(d, n, seed=seed)
+        g = from_networkx(graph, factor_pairing_numbering)
+        for e in g.edges:
+            lo, hi = sorted((e.i, e.j))
+            assert hi == lo + 1 and lo % 2 == 1, (
+                "factor numbering must pair port 2i-1 with port 2i"
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=nx_graphs(max_nodes=10))
+def test_round_trip_preserves_structure(graph):
+    g = from_networkx(graph)
+    back = to_simple_networkx(g)
+    assert {frozenset(e) for e in back.edges} == {
+        frozenset(e) for e in graph.edges
+    }
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=regular_nx_graphs(degrees=(2, 4), max_nodes=12))
+def test_factor_numbering_produces_valid_graph(graph):
+    g = from_networkx(graph, factor_pairing_numbering)
+    assert g.regularity() == graph.degree(next(iter(graph.nodes)))
+    assert g.is_simple()

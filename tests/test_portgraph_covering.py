@@ -1,0 +1,149 @@
+"""Tests for covering maps, quotients, and random lifts (paper §2.3)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CoveringMapError, QuotientError
+from repro.portgraph import (
+    PortGraphBuilder,
+    PortNumberedGraph,
+    from_networkx,
+    is_covering_map,
+    quotient_by_partition,
+    random_lift,
+    verify_covering_map,
+)
+from repro.portgraph.numbering import factor_pairing_numbering
+
+from tests.conftest import port_graphs
+
+
+def single_node_quotient(d: int) -> PortNumberedGraph:
+    """The one-node multigraph with p(x, 2i-1) = (x, 2i) (paper §3.3)."""
+    b = PortGraphBuilder()
+    b.add_node("x", d)
+    for i in range(1, d // 2 + 1):
+        b.connect("x", 2 * i - 1, "x", 2 * i)
+    return b.build()
+
+
+class TestVerifyCoveringMap:
+    def test_identity_is_covering(self, triangle):
+        verify_covering_map(triangle, triangle, {v: v for v in triangle.nodes})
+
+    def test_cycle_covers_single_node(self):
+        cover = from_networkx(nx.cycle_graph(6), factor_pairing_numbering)
+        base = single_node_quotient(2)
+        f = {v: "x" for v in cover.nodes}
+        verify_covering_map(cover, base, f)
+
+    def test_wrong_degree_rejected(self, triangle, path_graph_p2):
+        f = {v: "u" for v in triangle.nodes}
+        with pytest.raises(CoveringMapError):
+            verify_covering_map(triangle, path_graph_p2, f)
+
+    def test_not_surjective_rejected(self, triangle):
+        f = {v: v for v in triangle.nodes}
+        bigger = from_networkx(nx.complete_graph(4))
+        with pytest.raises(CoveringMapError):
+            verify_covering_map(triangle, bigger, f)
+
+    def test_undefined_node_rejected(self, triangle):
+        with pytest.raises(CoveringMapError):
+            verify_covering_map(triangle, triangle, {})
+
+    def test_connection_violation_rejected(self):
+        # Two disjoint edges "cover" one edge only if port numbers line up.
+        b = PortGraphBuilder()
+        b.add_nodes({"u1": 1, "v1": 1, "u2": 2, "v2": 2})
+        b.connect("u1", 1, "v1", 1)
+        b.connect("u2", 1, "v2", 2)
+        b.connect("u2", 2, "v2", 1)
+        cover = b.build()
+
+        base = PortGraphBuilder()
+        base.add_nodes({"u": 1, "v": 1})
+        base.connect("u", 1, "v", 1)
+        base_g = base.build()
+
+        f = {"u1": "u", "v1": "v", "u2": "u", "v2": "v"}
+        with pytest.raises(CoveringMapError):
+            verify_covering_map(cover, base_g, f)
+
+    def test_is_covering_map_boolean(self, triangle):
+        assert is_covering_map(triangle, triangle, {v: v for v in triangle.nodes})
+        assert not is_covering_map(triangle, triangle, {})
+
+
+class TestQuotient:
+    def test_cycle_quotient_to_single_node(self):
+        cover = from_networkx(nx.cycle_graph(4), factor_pairing_numbering)
+        quotient, f = quotient_by_partition(
+            cover, {v: "x" for v in cover.nodes}
+        )
+        assert quotient == single_node_quotient(2)
+        assert set(f.values()) == {"x"}
+
+    def test_inconsistent_partition_rejected(self):
+        g = from_networkx(nx.path_graph(3))
+        with pytest.raises(QuotientError):
+            quotient_by_partition(g, {v: "x" for v in g.nodes})
+
+    def test_mixed_degree_block_rejected(self):
+        g = from_networkx(nx.path_graph(3))
+        with pytest.raises(QuotientError):
+            quotient_by_partition(g, {0: "a", 1: "a", 2: "b"})
+
+    def test_partition_must_cover_nodes(self, triangle):
+        with pytest.raises(QuotientError):
+            quotient_by_partition(triangle, {})
+
+    def test_trivial_partition_is_identity(self, triangle):
+        quotient, f = quotient_by_partition(
+            triangle, {v: v for v in triangle.nodes}
+        )
+        assert quotient == triangle
+
+
+class TestRandomLift:
+    def test_fold_must_be_positive(self, triangle):
+        with pytest.raises(CoveringMapError):
+            random_lift(triangle, 0)
+
+    def test_lift_sizes(self, triangle):
+        lift, f = random_lift(triangle, 3, seed=1)
+        assert lift.num_nodes == 9
+        assert lift.num_edges == 9
+
+    def test_lift_of_multigraph_with_loops(self, multigraph_m):
+        lift, f = random_lift(multigraph_m, 4, seed=5)
+        assert lift.num_nodes == 8
+        verify_covering_map(lift, multigraph_m, f)
+
+    def test_lift_is_verified_covering(self):
+        base = single_node_quotient(4)
+        lift, f = random_lift(base, 5, seed=9)
+        verify_covering_map(lift, base, f)
+        assert lift.regularity() == 4
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=port_graphs(max_nodes=7), fold=st.integers(2, 4),
+       seed=st.integers(0, 10**6))
+def test_random_lift_always_verifies(g, fold, seed):
+    lift, f = random_lift(g, fold, seed=seed)
+    verify_covering_map(lift, g, f)
+    assert lift.num_nodes == fold * g.num_nodes
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=port_graphs(max_nodes=7), fold=st.integers(2, 3),
+       seed=st.integers(0, 10**6))
+def test_lift_then_quotient_recovers_base(g, fold, seed):
+    lift, f = random_lift(g, fold, seed=seed)
+    quotient, _ = quotient_by_partition(lift, f)
+    assert quotient == g

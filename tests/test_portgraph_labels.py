@@ -1,0 +1,128 @@
+"""Tests for Section 5 machinery: label pairs, distinguishable neighbours,
+and the matchings M(i, j) (Lemmas 1 and 2)."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+
+from repro.portgraph import (
+    all_matchings,
+    distinguishable_edge,
+    distinguishable_neighbour,
+    from_networkx,
+    label_pair,
+    label_pairs_at,
+    matching_m,
+    uniquely_labelled_edges,
+)
+from repro.portgraph.numbering import factor_pairing_numbering
+
+from tests.conftest import port_graphs
+
+
+class TestLabelPairs:
+    def test_label_pair_symmetry(self, figure2_like_h):
+        g = figure2_like_h
+        assert label_pair(g, "a", "b") == label_pair(g, "b", "a")
+        assert label_pair(g, "a", "b") == {1, 2}
+
+    def test_label_pairs_at(self, figure2_like_h):
+        pairs = label_pairs_at(figure2_like_h, "b")
+        assert pairs == {
+            1: frozenset({1, 3}),
+            2: frozenset({1, 2}),
+            3: frozenset({1, 3}),
+        }
+
+
+class TestDistinguishableNeighbours:
+    """The documented properties of the Figure 2 example."""
+
+    def test_a_has_no_uniquely_labelled_edges(self, figure2_like_h):
+        assert uniquely_labelled_edges(figure2_like_h, "a") == ()
+        assert distinguishable_neighbour(figure2_like_h, "a") is None
+
+    def test_a_is_distinguishable_neighbour_of_b(self, figure2_like_h):
+        assert distinguishable_neighbour(figure2_like_h, "b") == "a"
+
+    def test_d_is_distinguishable_neighbour_of_c(self, figure2_like_h):
+        assert distinguishable_neighbour(figure2_like_h, "c") == "d"
+
+    def test_distinguishable_edge_contains_node(self, figure2_like_h):
+        e = distinguishable_edge(figure2_like_h, "b")
+        assert "b" in e.endpoints and "a" in e.endpoints
+
+    def test_symmetric_numbering_has_no_distinguishable(self):
+        # Factor numbering of a cycle gives every edge label pair {1, 2}.
+        g = from_networkx(nx.cycle_graph(6), factor_pairing_numbering)
+        for v in g.nodes:
+            assert distinguishable_neighbour(g, v) is None
+
+
+class TestMatchingM:
+    def test_m_contains_expected_edge(self, figure2_like_h):
+        g = figure2_like_h
+        # b's distinguishable edge is {b, a} with p(b, 2) = (a, 1)
+        m = matching_m(g, 2, 1)
+        assert any(e.endpoints == {"a", "b"} for e in m)
+
+    def test_m_empty_for_unused_pair(self, figure2_like_h):
+        assert matching_m(figure2_like_h, 3, 2) == frozenset()
+
+    def test_all_matchings_cover_odd_nodes(self, figure2_like_h):
+        g = figure2_like_h
+        union = set()
+        for m in all_matchings(g).values():
+            for e in m:
+                union |= e.endpoints
+        odd_nodes = {v for v in g.nodes if g.degree(v) % 2 == 1}
+        assert odd_nodes <= union
+
+
+@settings(max_examples=60, deadline=None)
+@given(g=port_graphs(max_nodes=10))
+def test_lemma1_odd_degree_has_distinguishable_neighbour(g):
+    """Lemma 1: every node of odd degree has a distinguishable neighbour."""
+    for v in g.nodes:
+        if g.degree(v) % 2 == 1:
+            assert distinguishable_neighbour(g, v) is not None
+
+
+@settings(max_examples=60, deadline=None)
+@given(g=port_graphs(max_nodes=10))
+def test_lemma2_m_is_matching(g):
+    """Lemma 2: every M(i, j) is a matching."""
+    for m in all_matchings(g).values():
+        covered = set()
+        for e in m:
+            assert not (e.endpoints & covered), "M(i, j) is not a matching"
+            covered |= e.endpoints
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=port_graphs(max_nodes=10))
+def test_matchings_union_covers_odd_degree_nodes(g):
+    """Rephrasing of Lemmas 1-2 used by the algorithms: the union of all
+    M(i, j) covers every node of odd degree."""
+    union = set()
+    for m in all_matchings(g).values():
+        for e in m:
+            union |= e.endpoints
+    for v in g.nodes:
+        if g.degree(v) % 2 == 1:
+            assert v in union
+
+
+@settings(max_examples=40, deadline=None)
+@given(g=port_graphs(max_nodes=10))
+def test_distinguishable_edge_is_min_port_unique(g):
+    """The distinguishable edge minimises l(v, u) over unique label pairs."""
+    for v in g.nodes:
+        unique = uniquely_labelled_edges(g, v)
+        chosen = distinguishable_edge(g, v)
+        if not unique:
+            assert chosen is None
+        else:
+            assert chosen == unique[0]
+            assert chosen.port_at(v) == min(e.port_at(v) for e in unique)

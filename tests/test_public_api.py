@@ -1,0 +1,94 @@
+"""Public-surface tests: __all__ integrity and the testing strategies.
+
+A library deliverable should keep its advertised names importable and
+its documented quickstart working; these tests pin both.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+from hypothesis import given, settings
+
+import repro
+from repro.testing import (
+    bounded_degree_port_graphs,
+    nx_graphs,
+    odd_regular_port_graphs,
+    port_graphs,
+    regular_nx_graphs,
+)
+
+SUBPACKAGES = [
+    "repro.portgraph",
+    "repro.runtime",
+    "repro.algorithms",
+    "repro.lowerbounds",
+    "repro.factorization",
+    "repro.matching",
+    "repro.eds",
+    "repro.generators",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.testing",
+    "repro.cli",
+]
+
+
+class TestPublicSurface:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_quickstart_from_docstring(self):
+        """The README / package-docstring quickstart must keep working."""
+        import networkx as nx
+
+        graph = repro.from_networkx(nx.petersen_graph())
+        result = repro.run_anonymous(
+            graph, repro.BoundedDegreeEDS(max_degree=3)
+        )
+        assert repro.is_edge_dominating_set(graph, result.edge_set())
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestStrategies:
+    """The public hypothesis strategies must deliver what they promise."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(g=port_graphs(max_nodes=6, max_degree=3))
+    def test_port_graphs_respect_bounds(self, g):
+        assert g.num_nodes <= 6
+        assert g.max_degree <= 3
+        assert g.is_simple()
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=regular_nx_graphs(degrees=(3,), max_nodes=10))
+    def test_regular_strategy_is_regular(self, graph):
+        degrees = {d for _, d in graph.degree()}
+        assert degrees == {3}
+
+    @settings(max_examples=20, deadline=None)
+    @given(g=odd_regular_port_graphs(degrees=(3,), max_nodes=10))
+    def test_odd_regular_strategy(self, g):
+        assert g.regularity() == 3
+
+    @settings(max_examples=20, deadline=None)
+    @given(g=bounded_degree_port_graphs(max_degree=4, max_nodes=8))
+    def test_bounded_strategy(self, g):
+        assert g.max_degree <= 4
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=nx_graphs(max_nodes=5))
+    def test_nx_strategy_simple(self, graph):
+        assert not graph.is_multigraph()
+        assert graph.number_of_nodes() <= 5

@@ -1,0 +1,77 @@
+"""Tests for the randomised model extension and randomised matching."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.randomized import RandomizedMaximalMatching
+from repro.eds import is_edge_dominating_set, minimum_eds_size
+from repro.matching import is_maximal_matching
+from repro.portgraph import from_networkx, random_numbering
+from repro.portgraph.numbering import factor_pairing_numbering
+from repro.runtime.randomized import run_randomized
+
+from tests.conftest import nx_graphs
+
+
+class TestRandomizedMatching:
+    def test_single_edge(self, path_graph_p2):
+        result = run_randomized(path_graph_p2, RandomizedMaximalMatching)
+        assert result.edge_set() == frozenset(path_graph_p2.edges)
+
+    def test_breaks_cycle_symmetry(self):
+        """The deterministic impossibility (§1.4) evaporates with coins:
+        a symmetric cycle gets a maximal matching."""
+        g = from_networkx(nx.cycle_graph(12), factor_pairing_numbering)
+        result = run_randomized(g, RandomizedMaximalMatching, seed=3)
+        m = result.edge_set()
+        assert is_maximal_matching(g, m)
+        assert 4 <= len(m) <= 6  # maximal matchings of C12
+
+    def test_reproducible_given_seed(self):
+        g = from_networkx(nx.cycle_graph(10), factor_pairing_numbering)
+        a = run_randomized(g, RandomizedMaximalMatching, seed=7)
+        b = run_randomized(g, RandomizedMaximalMatching, seed=7)
+        assert a.outputs == b.outputs
+
+    def test_different_seeds_explore_different_matchings(self):
+        g = from_networkx(nx.cycle_graph(10), factor_pairing_numbering)
+        outputs = {
+            run_randomized(g, RandomizedMaximalMatching, seed=s).edge_set()
+            for s in range(6)
+        }
+        assert len(outputs) > 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=nx_graphs(max_nodes=12), seed=st.integers(0, 10**6),
+           numbering_seed=st.integers(0, 10**6))
+    def test_always_maximal_matching(self, graph, seed, numbering_seed):
+        g = from_networkx(graph, random_numbering(numbering_seed))
+        result = run_randomized(g, RandomizedMaximalMatching, seed=seed)
+        m = result.edge_set()
+        assert is_maximal_matching(g, m)
+        assert is_edge_dominating_set(g, m)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=nx_graphs(max_nodes=9), seed=st.integers(0, 10**6))
+    def test_two_approximation(self, graph, seed):
+        g = from_networkx(graph)
+        if g.num_edges == 0:
+            return
+        result = run_randomized(g, RandomizedMaximalMatching, seed=seed)
+        assert len(result.edge_set()) <= 2 * minimum_eds_size(g)
+
+    def test_round_count_small_in_practice(self):
+        """Expected O(log n) phases; generous sanity ceiling."""
+        g = from_networkx(
+            nx.random_regular_graph(3, 64, seed=1), random_numbering(2)
+        )
+        result = run_randomized(g, RandomizedMaximalMatching, seed=5)
+        assert result.rounds <= 40 * 3  # 40 phases of 3 rounds
+
+    def test_isolated_nodes(self):
+        g = from_networkx(nx.empty_graph(4))
+        result = run_randomized(g, RandomizedMaximalMatching)
+        assert result.edge_set() == frozenset()

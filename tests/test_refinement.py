@@ -1,0 +1,159 @@
+"""Tests for degree refinement, minimal quotients, and the executable
+lower-bound calculator (repro.portgraph.refinement)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import PortOneEDS
+from repro.exceptions import ReproError
+from repro.lowerbounds import build_even_lower_bound, build_odd_lower_bound
+from repro.portgraph import from_networkx, random_lift
+from repro.portgraph.numbering import factor_pairing_numbering
+from repro.portgraph.refinement import (
+    best_anonymous_eds_size,
+    edge_orbits,
+    minimal_quotient,
+    stable_partition,
+)
+from repro.runtime import run_anonymous
+
+from tests.conftest import port_graphs
+
+
+class TestStablePartition:
+    def test_symmetric_cycle_collapses_to_point(self):
+        g = from_networkx(nx.cycle_graph(8), factor_pairing_numbering)
+        partition = stable_partition(g)
+        assert len(set(partition.values())) == 1
+        quotient, _ = minimal_quotient(g)
+        assert quotient.num_nodes == 1
+
+    def test_asymmetric_numbering_often_splits(self):
+        g = from_networkx(nx.path_graph(4))
+        partition = stable_partition(g)
+        # end nodes (degree 1) cannot share a block with middle nodes
+        assert partition[0] != partition[1]
+
+    def test_partition_is_connection_consistent(self):
+        # minimal_quotient raises if not; smoke over several graphs
+        for graph in (nx.petersen_graph(), nx.path_graph(6)):
+            g = from_networkx(graph)
+            quotient, f = minimal_quotient(g)
+            assert set(f) == set(g.nodes)
+
+    @settings(max_examples=30, deadline=None)
+    @given(g=port_graphs(max_nodes=8))
+    def test_refinement_classes_respect_outputs(self, g):
+        """Nodes in one refinement block produce identical outputs — the
+        §2.3 invariance, reproved through refinement."""
+        partition = stable_partition(g)
+        result = run_anonymous(g, PortOneEDS)
+        by_block: dict[int, set] = {}
+        for v in g.nodes:
+            by_block.setdefault(partition[v], set()).add(result.outputs[v])
+        assert all(len(outputs) == 1 for outputs in by_block.values())
+
+    @settings(max_examples=20, deadline=None)
+    @given(g=port_graphs(max_nodes=6), fold=st.integers(2, 3),
+           seed=st.integers(0, 10**6))
+    def test_lift_quotient_at_least_as_coarse(self, g, fold, seed):
+        """A lift's minimal quotient is no larger than the base's (the
+        lift collapses at least as much)."""
+        lift, _ = random_lift(g, fold, seed=seed)
+        base_q, _ = minimal_quotient(g)
+        lift_q, _ = minimal_quotient(lift)
+        assert lift_q.num_nodes <= base_q.num_nodes * 1  # == base classes
+        # in fact the lift's refinement factors through the base:
+        assert lift_q.num_nodes <= g.num_nodes
+
+
+class TestMinimalQuotientOfConstructions:
+    """The refinement must *rediscover* the papers' partitions."""
+
+    @pytest.mark.parametrize("d", [2, 4, 6])
+    def test_even_construction_collapses_to_single_node(self, d):
+        inst = build_even_lower_bound(d)
+        quotient, _ = minimal_quotient(inst.graph)
+        assert quotient.num_nodes == 1
+        # same wiring as the paper's one-node multigraph (§3.3), up to
+        # the node's name: port 2i-1 pairs with port 2i
+        assert {frozenset((e.i, e.j)) for e in quotient.edges} == {
+            frozenset((2 * i - 1, 2 * i)) for i in range(1, d // 2 + 1)
+        }
+
+    @pytest.mark.parametrize("d", [3, 5])
+    def test_odd_construction_collapses_to_hub_quotient(self, d):
+        inst = build_odd_lower_bound(d)
+        quotient, f = minimal_quotient(inst.graph)
+        # same number of classes as the paper's partition (d + 1), and
+        # the classes coincide with the paper's fibres
+        assert quotient.num_nodes == d + 1
+        paper_fibres = {}
+        for v in inst.graph.nodes:
+            paper_fibres.setdefault(inst.covering_map[v], set()).add(v)
+        our_fibres = {}
+        for v in inst.graph.nodes:
+            our_fibres.setdefault(f[v], set()).add(v)
+        assert sorted(map(sorted, paper_fibres.values())) == sorted(
+            map(sorted, our_fibres.values())
+        )
+
+
+class TestEdgeOrbits:
+    def test_cycle_single_orbit(self):
+        g = from_networkx(nx.cycle_graph(6), factor_pairing_numbering)
+        orbits = edge_orbits(g)
+        assert len(orbits) == 1
+        assert len(orbits[0]) == 6
+
+    def test_orbits_partition_edges(self):
+        inst = build_even_lower_bound(4)
+        orbits = edge_orbits(inst.graph)
+        seen = set()
+        for orbit in orbits:
+            assert not (orbit & seen)
+            seen |= orbit
+        assert seen == set(inst.graph.edges)
+
+    @settings(max_examples=25, deadline=None)
+    @given(g=port_graphs(max_nodes=8))
+    def test_algorithm_outputs_are_orbit_unions(self, g):
+        """Any deterministic anonymous output is a union of edge orbits."""
+        result = run_anonymous(g, PortOneEDS)
+        selected = result.edge_set()
+        for orbit in edge_orbits(g):
+            intersection = orbit & selected
+            assert intersection == orbit or not intersection
+
+
+class TestExecutableLowerBound:
+    """Theorems 1-2, recomputed from first principles: the best possible
+    anonymous solution divided by the true optimum equals the Table 1
+    ratio — for *any* algorithm, not just the ones we implemented."""
+
+    @pytest.mark.parametrize("d", [2, 4, 6])
+    def test_even_bound_recomputed(self, d):
+        inst = build_even_lower_bound(d)
+        best = best_anonymous_eds_size(inst.graph)
+        assert Fraction(best, inst.optimum_size) == inst.forced_ratio
+
+    @pytest.mark.parametrize("d", [3, 5])
+    def test_odd_bound_recomputed(self, d):
+        inst = build_odd_lower_bound(d)
+        best = best_anonymous_eds_size(inst.graph)
+        assert Fraction(best, inst.optimum_size) == inst.forced_ratio
+
+    def test_orbit_guard(self):
+        g = from_networkx(nx.gnp_random_graph(12, 0.5, seed=1))
+        with pytest.raises(ReproError):
+            best_anonymous_eds_size(g, max_orbits=2)
+
+    def test_symmetric_cycle_forced_to_everything(self):
+        g = from_networkx(nx.cycle_graph(9), factor_pairing_numbering)
+        assert best_anonymous_eds_size(g) == 9  # all edges, one orbit

@@ -1,0 +1,61 @@
+"""Moderate-scale integration runs: locality at sizes where it matters.
+
+These verify feasibility and the locality claims on graphs far larger
+than the exact solver can handle, using the poly-time optimum lower
+bounds for ratio sanity.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import BoundedDegreeEDS, PortOneEDS, RegularOddEDS
+from repro.eds import eds_lower_bound, is_edge_dominating_set, regular_ratio
+from repro.generators import grid, random_regular
+from repro.runtime import run_anonymous
+
+
+class TestScale:
+    def test_port_one_on_500_nodes(self):
+        graph = random_regular(6, 500, seed=1)
+        result = run_anonymous(graph, PortOneEDS)
+        solution = result.edge_set()
+        assert result.rounds == 1
+        assert is_edge_dominating_set(graph, solution)
+        # the Theorem 3 bound, evaluated against a poly-time lower bound
+        assert Fraction(len(solution), eds_lower_bound(graph)) <= (
+            regular_ratio(6) * 2  # lower bound can be off by <= 2x (ν/2)
+        )
+
+    def test_regular_odd_on_200_nodes(self):
+        graph = random_regular(3, 200, seed=2)
+        result = run_anonymous(graph, RegularOddEDS)
+        solution = result.edge_set()
+        assert result.rounds == RegularOddEDS.total_rounds(3)
+        assert is_edge_dominating_set(graph, solution)
+        # structural bound from Theorem 4's proof: |D| <= d|V|/(d+1)
+        assert 4 * len(solution) <= 3 * 200
+
+    def test_bounded_on_large_grid(self):
+        field = grid(12, 12, seed=3)
+        result = run_anonymous(field, BoundedDegreeEDS(4))
+        solution = result.edge_set()
+        assert is_edge_dominating_set(field, solution)
+        assert result.rounds == BoundedDegreeEDS(4).total_rounds()
+
+    @pytest.mark.parametrize("n", (60, 120, 240))
+    def test_rounds_flat_across_sizes(self, n):
+        graph = random_regular(5, n, seed=n)
+        result = run_anonymous(graph, RegularOddEDS)
+        assert result.rounds == 2 + 2 * 25
+
+    def test_solution_density_stable(self):
+        """|D|/n stays in a narrow band as n grows (local decisions)."""
+        densities = []
+        for n in (50, 100, 200):
+            graph = random_regular(3, n, seed=n)
+            result = run_anonymous(graph, RegularOddEDS)
+            densities.append(len(result.edge_set()) / n)
+        assert max(densities) - min(densities) < 0.1

@@ -1,0 +1,121 @@
+"""Tests for truncated views and their relationships to refinement,
+covering maps, and algorithm outputs."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import PortOneEDS, RegularOddEDS
+from repro.portgraph import from_networkx, random_lift, random_numbering
+from repro.portgraph.numbering import factor_pairing_numbering
+from repro.portgraph.refinement import stable_partition
+from repro.portgraph.views import view, view_partition, views_at_depth
+from repro.runtime import run_anonymous
+
+from tests.conftest import port_graphs
+
+
+class TestViewBasics:
+    def test_depth_zero_is_degree(self):
+        g = from_networkx(nx.path_graph(3))
+        assert view(g, 0, 0) == (1, ())
+        assert view(g, 1, 0) == (2, ())
+
+    def test_negative_depth_rejected(self):
+        g = from_networkx(nx.path_graph(2))
+        with pytest.raises(ValueError):
+            view(g, 0, -1)
+
+    def test_recursive_agrees_with_interned(self):
+        """Explicit trees and interned ids induce the same equalities."""
+        g = from_networkx(nx.petersen_graph(), random_numbering(3))
+        for depth in (0, 1, 2, 3):
+            bulk = views_at_depth(g, depth)
+            explicit = {v: view(g, v, depth) for v in g.nodes}
+            for v in g.nodes:
+                for u in g.nodes:
+                    assert (bulk[v] == bulk[u]) == (
+                        explicit[v] == explicit[u]
+                    )
+
+    def test_symmetric_cycle_views_identical(self):
+        g = from_networkx(nx.cycle_graph(7), factor_pairing_numbering)
+        for depth in (1, 3, 7):
+            assert len(set(views_at_depth(g, depth).values())) == 1
+
+    def test_path_end_vs_middle_distinguished(self):
+        g = from_networkx(nx.path_graph(4))
+        partition = view_partition(g, 1)
+        assert partition[0] != partition[1]
+
+
+class TestViewsVsRefinement:
+    @settings(max_examples=30, deadline=None)
+    @given(g=port_graphs(max_nodes=8))
+    def test_deep_views_equal_stable_partition(self, g):
+        """Views stabilise to exactly the refinement partition."""
+        depth = max(g.num_nodes, 1)
+        by_views = view_partition(g, depth)
+        by_refinement = stable_partition(g)
+        blocks_views = {}
+        blocks_refinement = {}
+        for v in g.nodes:
+            blocks_views.setdefault(by_views[v], set()).add(v)
+            blocks_refinement.setdefault(by_refinement[v], set()).add(v)
+        assert sorted(map(sorted, blocks_views.values())) == sorted(
+            map(sorted, blocks_refinement.values())
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(g=port_graphs(max_nodes=7), depth=st.integers(0, 3))
+    def test_views_refine_monotonically(self, g, depth):
+        """Deeper views can only split blocks, never merge them."""
+        coarse = view_partition(g, depth)
+        fine = view_partition(g, depth + 1)
+        for v in g.nodes:
+            for u in g.nodes:
+                if fine[v] == fine[u]:
+                    assert coarse[v] == coarse[u]
+
+
+class TestViewsVsCoverings:
+    @settings(max_examples=20, deadline=None)
+    @given(g=port_graphs(max_nodes=6), fold=st.integers(2, 3),
+           seed=st.integers(0, 10**6), depth=st.integers(0, 3))
+    def test_covering_preserves_views(self, g, fold, seed, depth):
+        from repro.portgraph.views import ViewInterner
+
+        lift, f = random_lift(g, fold, seed=seed)
+        shared = ViewInterner()
+        base_views = views_at_depth(g, depth, interner=shared)
+        lift_views = views_at_depth(lift, depth, interner=shared)
+        for v in lift.nodes:
+            assert lift_views[v] == base_views[f[v]]
+
+
+class TestViewsVsOutputs:
+    @settings(max_examples=25, deadline=None)
+    @given(g=port_graphs(max_nodes=8))
+    def test_equal_views_equal_outputs_port_one(self, g):
+        """PortOne runs in 1 round: depth-1 views determine outputs."""
+        result = run_anonymous(g, PortOneEDS)
+        views = views_at_depth(g, 1)
+        by_view = {}
+        for v in g.nodes:
+            by_view.setdefault(views[v], set()).add(result.outputs[v])
+        assert all(len(outs) == 1 for outs in by_view.values())
+
+    def test_equal_views_equal_outputs_regular_odd(self):
+        g = from_networkx(
+            nx.random_regular_graph(3, 12, seed=4), random_numbering(4)
+        )
+        result = run_anonymous(g, RegularOddEDS)
+        depth = result.rounds
+        views = views_at_depth(g, depth)
+        by_view = {}
+        for v in g.nodes:
+            by_view.setdefault(views[v], set()).add(result.outputs[v])
+        assert all(len(outs) == 1 for outs in by_view.values())
