@@ -20,20 +20,34 @@ from repro.analysis.ratio import RatioReport, measure_ratio
 from repro.eds.greedy import two_approx_eds
 from repro.portgraph.graph import PortNumberedGraph
 from repro.portgraph.ports import PortEdge
+from repro.runtime.algorithm import AnonymousAlgorithm
 from repro.runtime.scheduler import run_anonymous, run_identified
 
-__all__ = ["AlgorithmSpec", "ExperimentRow", "run_on", "standard_algorithms"]
+__all__ = [
+    "AlgorithmSpec",
+    "ExperimentRow",
+    "resolve_algorithm",
+    "run_on",
+    "standard_algorithms",
+]
 
 Runner = Callable[[PortNumberedGraph], tuple[frozenset[PortEdge], int]]
 
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
-    """A named, runnable algorithm."""
+    """A named, runnable algorithm.
+
+    For anonymous-model algorithms ``factory`` exposes the raw node-
+    program factory (given the target graph), which the experiment
+    engine needs to drive the simulator directly — adversary
+    confrontations and message tracing.
+    """
 
     name: str
     run: Runner
     model: str  # "anonymous" | "identified" | "central"
+    factory: Callable[[PortNumberedGraph], AnonymousAlgorithm] | None = None
 
 
 @dataclass(frozen=True)
@@ -88,16 +102,55 @@ def standard_algorithms() -> dict[str, AlgorithmSpec]:
     and feasibility is checked downstream.
     """
     return {
-        "port_one": AlgorithmSpec("port_one", _port_one, "anonymous"),
-        "regular_odd": AlgorithmSpec("regular_odd", _regular_odd, "anonymous"),
+        "port_one": AlgorithmSpec(
+            "port_one", _port_one, "anonymous", lambda graph: PortOneEDS
+        ),
+        "regular_odd": AlgorithmSpec(
+            "regular_odd", _regular_odd, "anonymous",
+            lambda graph: RegularOddEDS,
+        ),
         "bounded_degree": AlgorithmSpec(
-            "bounded_degree", _bounded, "anonymous"
+            "bounded_degree", _bounded, "anonymous",
+            lambda graph: BoundedDegreeEDS(max(graph.max_degree, 1)),
         ),
         "ids_greedy": AlgorithmSpec("ids_greedy", _ids_greedy, "identified"),
         "central_greedy": AlgorithmSpec(
             "central_greedy", _central_greedy, "central"
         ),
     }
+
+
+def resolve_algorithm(name: str, **params: int) -> AlgorithmSpec:
+    """Resolve an algorithm name (plus optional parameters) to a spec.
+
+    The parallel experiment engine addresses algorithms by name so that
+    work units stay plain data; this is the single point where names turn
+    back into runnable code.  ``bounded_degree`` accepts an explicit
+    ``delta`` promise (used e.g. by the inflated-Δ ablation); all other
+    algorithms take no parameters.
+    """
+    if name == "bounded_degree" and "delta" in params:
+        delta = params.pop("delta")
+        if params:
+            raise KeyError(f"unknown parameters for {name}: {sorted(params)}")
+
+        def _bounded_fixed(graph: PortNumberedGraph):
+            result = run_anonymous(graph, BoundedDegreeEDS(delta))
+            return result.edge_set(), result.rounds
+
+        return AlgorithmSpec(
+            "bounded_degree", _bounded_fixed, "anonymous",
+            lambda graph: BoundedDegreeEDS(delta),
+        )
+    if params:
+        raise KeyError(f"unknown parameters for {name}: {sorted(params)}")
+    try:
+        return standard_algorithms()[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: "
+            f"{sorted(standard_algorithms())}"
+        ) from None
 
 
 def run_on(

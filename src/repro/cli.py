@@ -10,6 +10,9 @@ Examples
     repro-eds rounds --degrees 1,3,5,7 --sizes 16,32,64
     repro-eds average --instances 3
     repro-eds ablation
+    repro-eds sweep --scenario default --workers 4
+    repro-eds sweep --scenario large-regular --workers 8 --jsonl out.jsonl
+    repro-eds sweep --no-cache --degrees 3,5 --sizes 16 --seeds 2
     repro-eds demo --family regular -d 3 -n 16 --algorithm regular_odd
 """
 
@@ -21,6 +24,14 @@ from typing import Sequence
 
 from repro.analysis.report import format_table
 from repro.analysis.runner import run_on, standard_algorithms
+from repro.engine import (
+    DEFAULT_CACHE_DIR,
+    ProgressPrinter,
+    ResultCache,
+    get_scenario,
+    run_units,
+    scenario_names,
+)
 from repro.experiments.ablation import format_ablations, run_ablations
 from repro.experiments.figures import all_figures
 from repro.experiments.sweeps import (
@@ -38,6 +49,25 @@ __all__ = ["main", "build_parser"]
 
 def _int_list(text: str) -> tuple[int, ...]:
     return tuple(int(part) for part in text.split(",") if part)
+
+
+def _str_list(text: str) -> tuple[str, ...]:
+    return tuple(part for part in text.split(",") if part)
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="shard work units across N processes (default: serial)",
+    )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="serve repeated work units from the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,12 +91,49 @@ def build_parser() -> argparse.ArgumentParser:
     rounds = sub.add_parser("rounds", help="round-complexity sweep (E4)")
     rounds.add_argument("--degrees", type=_int_list, default=(1, 3, 5, 7))
     rounds.add_argument("--sizes", type=_int_list, default=(16, 32, 64))
+    rounds.add_argument("--workers", type=int, default=1)
 
     avg = sub.add_parser("average", help="average-case sweep (E12)")
     avg.add_argument("--instances", type=int, default=5)
     avg.add_argument("--seed", type=int, default=0)
+    avg.add_argument("--workers", type=int, default=1)
 
     sub.add_parser("ablation", help="ablation studies (E13)")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative grid through the parallel experiment "
+        "engine (sharded workers + content-addressed result cache)",
+    )
+    sweep.add_argument(
+        "--scenario", choices=scenario_names(), default="default",
+        help="named grid to run (default: 'default')",
+    )
+    sweep.add_argument(
+        "--degrees", type=_int_list, default=None,
+        help="override the scenario's degree axis, e.g. 2,3,4",
+    )
+    sweep.add_argument(
+        "--sizes", type=_int_list, default=None,
+        help="override the scenario's size axis, e.g. 16,32,64",
+    )
+    sweep.add_argument(
+        "--seeds", type=int, default=None,
+        help="override the number of seeds per grid cell",
+    )
+    sweep.add_argument(
+        "--algorithms", type=_str_list, default=None,
+        help="override the algorithm list, e.g. port_one,bounded_degree",
+    )
+    sweep.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the result records as canonical JSON lines",
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the progress/ETA lines on stderr",
+    )
+    _add_engine_flags(sweep)
 
     verify = sub.add_parser(
         "verify",
@@ -156,22 +223,79 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"  ✓ {claim}")
             print()
     elif args.command == "rounds":
-        rows = round_complexity_sweep(args.degrees, args.sizes)
+        rows = round_complexity_sweep(
+            args.degrees, args.sizes, workers=args.workers
+        )
         print(format_round_complexity(rows))
         if not all(r.matches_prediction for r in rows):
             print("ERROR: round predictions violated", file=sys.stderr)
             return 1
     elif args.command == "average":
-        rows = average_case_sweep(instances=args.instances, seed=args.seed)
+        rows = average_case_sweep(
+            instances=args.instances, seed=args.seed, workers=args.workers
+        )
         print(format_average_case(rows))
     elif args.command == "ablation":
         print(format_ablations(run_ablations()))
+    elif args.command == "sweep":
+        return _run_sweep(args)
     elif args.command == "verify":
         return _run_verify(fast=args.fast)
     elif args.command == "render":
         print(_run_render(args))
     elif args.command == "demo":
         print(_run_demo(args))
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """Expand a scenario grid and run it through the experiment engine."""
+    scenario = get_scenario(args.scenario)
+    overrides: dict[str, object] = {}
+    if args.degrees is not None:
+        overrides["degrees"] = args.degrees
+    if args.sizes is not None:
+        overrides["sizes"] = args.sizes
+    if args.seeds is not None:
+        overrides["seeds"] = args.seeds
+    if args.algorithms is not None:
+        unknown = set(args.algorithms) - set(standard_algorithms())
+        if unknown:
+            print(f"ERROR: unknown algorithms {sorted(unknown)}",
+                  file=sys.stderr)
+            return 2
+        overrides["algorithms"] = args.algorithms
+    if overrides:
+        try:
+            scenario = scenario.override(**overrides)
+        except ValueError as exc:
+            print(f"ERROR: {exc}", file=sys.stderr)
+            return 2
+
+    units = scenario.expand()
+    if not units:
+        print("ERROR: the grid expanded to zero feasible work units",
+              file=sys.stderr)
+        return 2
+
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    progress = (
+        None if args.quiet
+        else ProgressPrinter(len(units), label=f"sweep:{scenario.name}")
+    )
+    report = run_units(
+        units, workers=max(1, args.workers), cache=cache, progress=progress
+    )
+    print(report.store.format_summary(
+        title=f"sweep '{scenario.name}' — {len(units)} work units"
+    ))
+    if cache is not None:
+        print(f"{report.cache_line()} [dir: {args.cache_dir}]")
+    else:
+        print("cache: disabled")
+    if args.jsonl:
+        report.store.to_jsonl(args.jsonl)
+        print(f"wrote {len(report.store)} records to {args.jsonl}")
     return 0
 
 

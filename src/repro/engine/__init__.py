@@ -1,0 +1,64 @@
+"""Parallel experiment engine with content-addressed result caching.
+
+The engine turns the reproduction's experiments into data-driven grids:
+
+* :mod:`repro.engine.spec` — declarative, hashable work units
+  (:class:`JobSpec` / :class:`GraphSpec`) and deterministic seeding;
+* :mod:`repro.engine.grid` — :class:`SweepGrid` expansion of
+  algorithm × family × size × seed grids;
+* :mod:`repro.engine.cache` — the content-addressed on-disk cache under
+  ``.repro-cache/`` keyed by the SHA-256 of each unit's canonical JSON;
+* :mod:`repro.engine.executor` — serial or ``multiprocessing``-sharded
+  execution with write-through caching and progress/ETA reporting;
+* :mod:`repro.engine.records` — typed result records and the JSONL
+  results store the analysis layer formats.
+
+Every experiment driver (Table 1, sweeps, ablations) routes its
+execution through :func:`run_units`, so any repeated cell anywhere in
+the harness is computed exactly once per cache directory.
+"""
+
+from repro.engine.cache import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    cache_key,
+)
+from repro.engine.executor import (
+    ExecutionReport,
+    ProgressPrinter,
+    execute_unit,
+    run_units,
+)
+from repro.engine.grid import SweepGrid
+from repro.engine.records import ResultRecord, ResultStore
+from repro.engine.scenarios import SCENARIOS, get_scenario, scenario_names
+from repro.engine.spec import (
+    GraphSpec,
+    JobSpec,
+    canonical_json,
+    derive_seed,
+    graph_families,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "ExecutionReport",
+    "GraphSpec",
+    "JobSpec",
+    "ProgressPrinter",
+    "ResultCache",
+    "ResultRecord",
+    "ResultStore",
+    "SCENARIOS",
+    "SweepGrid",
+    "cache_key",
+    "canonical_json",
+    "derive_seed",
+    "execute_unit",
+    "get_scenario",
+    "graph_families",
+    "run_units",
+    "scenario_names",
+]

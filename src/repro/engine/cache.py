@@ -1,0 +1,102 @@
+"""Content-addressed on-disk result cache.
+
+Every work unit serialises to canonical JSON; its SHA-256 digest is the
+unit's *content address*.  A finished :class:`~repro.engine.records.
+ResultRecord` is stored as JSON under ``<root>/<key[:2]>/<key>.json``, so
+re-running any sweep or benchmark recomputes only the cells whose specs
+changed.  Writes are atomic (temp file + ``os.replace``) so concurrent
+sweeps sharing a cache directory never observe torn records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.engine.spec import JobSpec, canonical_json
+
+__all__ = ["CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR", "ResultCache", "cache_key"]
+
+#: Bump when the record schema or unit semantics change incompatibly;
+#: old cache entries then simply stop matching.
+CACHE_SCHEMA_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def cache_key(spec: JobSpec) -> str:
+    """The stable content address of one work unit."""
+    payload = {"schema": CACHE_SCHEMA_VERSION, "unit": spec.to_json_dict()}
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Filesystem-backed key → record-dict store with hit/miss counters."""
+
+    def __init__(self, root: str | os.PathLike[str] = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Return the cached record for *key*, or ``None`` on a miss.
+
+        Corrupt entries (truncated writes from killed runs, manual edits)
+        count as misses and are recomputed and overwritten.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if not isinstance(record, dict):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict[str, Any]) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def keys(self) -> Iterator[str]:
+        if not self.root.is_dir():
+            return
+        for entry in sorted(self.root.glob("*/*.json")):
+            yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every cached record; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            try:
+                self.path_for(key).unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

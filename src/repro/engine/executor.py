@@ -1,0 +1,324 @@
+"""Sharded execution of work units with write-through caching.
+
+:func:`execute_unit` turns one :class:`~repro.engine.spec.JobSpec` into a
+:class:`~repro.engine.records.ResultRecord`; :func:`run_units` maps a
+whole grid, serving already-computed cells from the content-addressed
+cache and fanning the rest across ``multiprocessing`` workers.
+
+Determinism contract: a record depends only on its spec — never on the
+worker count, execution order, or wall clock — so ``--workers 4`` and
+``--workers 1`` produce byte-identical results.  Workers receive plain
+spec dictionaries and resolve algorithm/graph names themselves, which
+keeps the fan-out free of code pickling (and safe under both ``fork``
+and ``spawn`` start methods).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Any, Callable, Iterable, TextIO
+
+from repro.analysis.messages import profile_messages
+from repro.analysis.reference import regular_odd_reference
+from repro.analysis.runner import resolve_algorithm
+from repro.eds.bounds import eds_lower_bound
+from repro.eds.exact import minimum_eds_size
+from repro.eds.properties import is_edge_dominating_set
+from repro.engine.cache import ResultCache, cache_key
+from repro.engine.records import ResultRecord, ResultStore
+from repro.engine.spec import JobSpec
+from repro.exceptions import AlgorithmContractError
+from repro.lowerbounds.adversary import run_adversary
+from repro.lowerbounds.instance import LowerBoundInstance
+from repro.portgraph.graph import PortNumberedGraph
+from repro.runtime.algorithm import AnonymousAlgorithm
+
+__all__ = [
+    "ExecutionReport",
+    "ProgressPrinter",
+    "execute_unit",
+    "run_units",
+]
+
+
+# ---------------------------------------------------------------------------
+# Single-unit execution
+# ---------------------------------------------------------------------------
+
+
+def _anonymous_factory(
+    spec: JobSpec, graph: PortNumberedGraph
+) -> AnonymousAlgorithm | None:
+    """The raw anonymous-model factory for the unit's algorithm, if any.
+
+    Needed by the measurement paths that drive the simulator directly
+    (adversary confrontations, message tracing).  Resolved through the
+    one algorithm registry in :mod:`repro.analysis.runner`, so newly
+    registered anonymous algorithms are picked up automatically.
+    """
+    algorithm = resolve_algorithm(
+        spec.algorithm, **dict(spec.algorithm_params)
+    )
+    if algorithm.factory is None:
+        return None
+    return algorithm.factory(graph)
+
+
+def _measure_optimum(
+    spec: JobSpec, graph: PortNumberedGraph
+) -> tuple[int, bool]:
+    if spec.optimum == "none":
+        return 0, False
+    if spec.optimum == "exact":
+        return minimum_eds_size(graph), True
+    if spec.optimum == "lower_bound":
+        return eds_lower_bound(graph), False
+    # "auto": exact when affordable, else the poly-time lower bound
+    if graph.num_edges <= spec.exact_edge_limit:
+        return minimum_eds_size(graph), True
+    return eds_lower_bound(graph), False
+
+
+def _quality_record(spec: JobSpec, key: str) -> ResultRecord:
+    graph = spec.graph.build()
+    assert isinstance(graph, PortNumberedGraph)
+    algorithm = resolve_algorithm(spec.algorithm, **dict(spec.algorithm_params))
+    edge_set, rounds = algorithm.run(graph)
+    if not is_edge_dominating_set(graph, edge_set):
+        raise AlgorithmContractError(
+            f"{spec.algorithm} produced an infeasible output on "
+            f"{spec.display_label()}"
+        )
+    optimum, exact = _measure_optimum(spec, graph)
+    if optimum > 0:
+        ratio = Fraction(len(edge_set), optimum)
+    else:
+        ratio = Fraction(1) if spec.optimum != "none" else Fraction(0)
+
+    messages: int | None = None
+    if spec.count_messages:
+        if algorithm.factory is not None:
+            messages = profile_messages(
+                graph, algorithm.factory(graph)
+            ).total_messages
+        elif algorithm.model == "central":
+            messages = 0
+
+    return ResultRecord(
+        key=key,
+        algorithm=spec.algorithm,
+        graph_family=spec.graph.family,
+        graph_label=spec.display_label(),
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree,
+        solution_size=len(edge_set),
+        optimum=optimum,
+        optimum_exact=exact,
+        ratio_num=ratio.numerator,
+        ratio_den=ratio.denominator,
+        rounds=rounds,
+        messages=messages,
+    )
+
+
+def _adversary_record(spec: JobSpec, key: str) -> ResultRecord:
+    instance = spec.graph.build()
+    assert isinstance(instance, LowerBoundInstance)
+    factory = _anonymous_factory(spec, instance.graph)
+    if factory is None:
+        raise AlgorithmContractError(
+            f"adversary units need an anonymous algorithm, got "
+            f"{spec.algorithm!r}"
+        )
+    report = run_adversary(instance, factory)
+    return ResultRecord(
+        key=key,
+        algorithm=spec.algorithm,
+        graph_family=spec.graph.family,
+        graph_label=spec.display_label(),
+        num_nodes=instance.graph.num_nodes,
+        num_edges=instance.graph.num_edges,
+        max_degree=instance.graph.max_degree,
+        solution_size=report.solution_size,
+        optimum=instance.optimum_size,
+        optimum_exact=True,
+        ratio_num=report.ratio.numerator,
+        ratio_den=report.ratio.denominator,
+        rounds=report.rounds,
+        extra={
+            "forced_ratio_num": instance.forced_ratio.numerator,
+            "forced_ratio_den": instance.forced_ratio.denominator,
+            "tight": report.is_tight,
+            "feasible": report.feasible,
+            "fibres_uniform": report.fibres_uniform,
+        },
+    )
+
+
+def _phase_split_record(spec: JobSpec, key: str) -> ResultRecord:
+    graph = spec.graph.build()
+    assert isinstance(graph, PortNumberedGraph)
+    after_phase1, final = regular_odd_reference(graph)
+    if not is_edge_dominating_set(graph, after_phase1):
+        raise AlgorithmContractError(
+            "phase I of Theorem 4 must already be an EDS"
+        )
+    return ResultRecord(
+        key=key,
+        algorithm=spec.algorithm,
+        graph_family=spec.graph.family,
+        graph_label=spec.display_label(),
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree,
+        solution_size=len(after_phase1),
+        optimum=0,
+        optimum_exact=False,
+        ratio_num=0,
+        ratio_den=1,
+        rounds=0,
+        extra={"final_size": len(final)},
+    )
+
+
+def execute_unit(spec: JobSpec) -> ResultRecord:
+    """Execute one work unit (in-process; used directly by workers)."""
+    key = cache_key(spec)
+    if spec.measure == "adversary":
+        return _adversary_record(spec, key)
+    if spec.measure == "phase_split":
+        return _phase_split_record(spec, key)
+    return _quality_record(spec, key)
+
+
+def _worker(payload: tuple[int, dict[str, Any]]) -> tuple[int, dict[str, Any]]:
+    index, spec_dict = payload
+    record = execute_unit(JobSpec.from_json_dict(spec_dict))
+    return index, record.to_json_dict()
+
+
+# ---------------------------------------------------------------------------
+# Grid execution
+# ---------------------------------------------------------------------------
+
+
+class ProgressPrinter:
+    """Throttled progress/ETA lines for long sweeps (stderr by default)."""
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        label: str = "sweep",
+        stream: TextIO | None = None,
+        min_interval: float = 0.5,
+    ):
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self._started = time.monotonic()
+        self._last_printed = 0.0
+
+    def __call__(self, done: int, cached: int) -> None:
+        now = time.monotonic()
+        if done < self.total and now - self._last_printed < self.min_interval:
+            return
+        self._last_printed = now
+        elapsed = now - self._started
+        computed = done - cached
+        remaining = self.total - done
+        if computed > 0 and remaining > 0:
+            eta = f"{elapsed / computed * remaining:.1f}s"
+        elif remaining > 0:
+            eta = "?"
+        else:
+            eta = "0s"
+        self.stream.write(
+            f"[{self.label}] {done}/{self.total} units "
+            f"({cached} cached) | elapsed {elapsed:.1f}s | eta {eta}\n"
+        )
+        self.stream.flush()
+
+
+@dataclass
+class ExecutionReport:
+    """The outcome of one grid execution."""
+
+    store: ResultStore
+    cache_hits: int
+    computed: int
+
+    @property
+    def records(self) -> list[ResultRecord]:
+        return self.store.records
+
+    @property
+    def total(self) -> int:
+        return self.cache_hits + self.computed
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+    def cache_line(self) -> str:
+        return (
+            f"cache: {self.cache_hits} hit(s), {self.computed} computed "
+            f"({self.hit_rate:.1%} hit rate)"
+        )
+
+
+def run_units(
+    units: Iterable[JobSpec],
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> ExecutionReport:
+    """Execute *units*, in order, and return their records.
+
+    Cached units are served from *cache* (write-through for the rest).
+    With ``workers > 1`` the uncached units are sharded across a process
+    pool; results are reassembled into submission order, so the returned
+    records are identical for every worker count.
+    """
+    units = list(units)
+    keys = [cache_key(unit) for unit in units]
+    records: dict[int, ResultRecord] = {}
+
+    if cache is not None:
+        for index, key in enumerate(keys):
+            cached = cache.get(key)
+            if cached is not None:
+                records[index] = ResultRecord.from_json_dict(cached)
+    hits = len(records)
+    missing = [i for i in range(len(units)) if i not in records]
+    done = hits
+    if progress is not None:
+        progress(done, hits)
+
+    def _finish(index: int, record: ResultRecord) -> None:
+        nonlocal done
+        records[index] = record
+        if cache is not None:
+            cache.put(keys[index], record.to_json_dict())
+        done += 1
+        if progress is not None:
+            progress(done, hits)
+
+    if workers > 1 and len(missing) > 1:
+        payloads = [(i, units[i].to_json_dict()) for i in missing]
+        with multiprocessing.Pool(min(workers, len(missing))) as pool:
+            for index, record_dict in pool.imap_unordered(_worker, payloads):
+                _finish(index, ResultRecord.from_json_dict(record_dict))
+    else:
+        for index in missing:
+            _finish(index, execute_unit(units[index]))
+
+    store = ResultStore(records[i] for i in range(len(units)))
+    return ExecutionReport(store=store, cache_hits=hits, computed=len(missing))

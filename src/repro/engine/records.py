@@ -1,0 +1,185 @@
+"""Typed result records and the in-memory/JSONL results store.
+
+:class:`ResultRecord` is the engine's unit of output: everything the
+analysis layer needs (sizes, exact-fraction ratio, rounds, message
+counts, measurement extras) in a JSON-round-trippable shape.  A record
+serialised by a worker process and deserialised by the parent is equal —
+field for field and byte for byte under canonical JSON — to one computed
+in-process, which is what makes ``--workers N`` results reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fractions import Fraction
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.analysis.report import format_table
+from repro.analysis.runner import ExperimentRow
+from repro.engine.spec import canonical_json
+
+__all__ = ["ResultRecord", "ResultStore"]
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """One finished work unit's measurements."""
+
+    key: str
+    algorithm: str
+    graph_family: str
+    graph_label: str
+    num_nodes: int
+    num_edges: int
+    max_degree: int
+    solution_size: int
+    optimum: int  # 0 when the unit did not measure an optimum
+    optimum_exact: bool
+    ratio_num: int
+    ratio_den: int
+    rounds: int
+    messages: int | None = None
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> Fraction:
+        return Fraction(self.ratio_num, self.ratio_den)
+
+    @property
+    def has_optimum(self) -> bool:
+        return self.optimum > 0
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "key": self.key,
+            "algorithm": self.algorithm,
+            "graph_family": self.graph_family,
+            "graph_label": self.graph_label,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "max_degree": self.max_degree,
+            "solution_size": self.solution_size,
+            "optimum": self.optimum,
+            "optimum_exact": self.optimum_exact,
+            "ratio_num": self.ratio_num,
+            "ratio_den": self.ratio_den,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "ResultRecord":
+        return cls(
+            key=data["key"],
+            algorithm=data["algorithm"],
+            graph_family=data["graph_family"],
+            graph_label=data["graph_label"],
+            num_nodes=data["num_nodes"],
+            num_edges=data["num_edges"],
+            max_degree=data["max_degree"],
+            solution_size=data["solution_size"],
+            optimum=data["optimum"],
+            optimum_exact=data["optimum_exact"],
+            ratio_num=data["ratio_num"],
+            ratio_den=data["ratio_den"],
+            rounds=data["rounds"],
+            messages=data.get("messages"),
+            extra=dict(data.get("extra", {})),
+        )
+
+    def canonical(self) -> str:
+        """Canonical JSON encoding (the byte-identity comparison form)."""
+        return canonical_json(self.to_json_dict())
+
+    def to_experiment_row(self) -> ExperimentRow:
+        """Adapt to the :mod:`repro.analysis.runner` row type."""
+        return ExperimentRow(
+            algorithm=self.algorithm,
+            graph_label=self.graph_label,
+            num_nodes=self.num_nodes,
+            num_edges=self.num_edges,
+            max_degree=self.max_degree,
+            solution_size=self.solution_size,
+            optimum=self.optimum,
+            optimum_exact=self.optimum_exact,
+            ratio=self.ratio,
+            rounds=self.rounds,
+        )
+
+
+class ResultStore:
+    """An ordered collection of records with summaries and JSONL I/O."""
+
+    def __init__(self, records: Iterable[ResultRecord] = ()):
+        self.records: list[ResultRecord] = list(records)
+
+    def append(self, record: ResultRecord) -> None:
+        self.records.append(record)
+
+    def extend(self, records: Iterable[ResultRecord]) -> None:
+        self.records.extend(records)
+
+    def __iter__(self) -> Iterator[ResultRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def experiment_rows(self) -> list[ExperimentRow]:
+        return [r.to_experiment_row() for r in self.records]
+
+    def summary_rows(self) -> list[tuple[object, ...]]:
+        """Per-algorithm aggregates over the stored records."""
+        grouped: dict[str, list[ResultRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.algorithm, []).append(record)
+        rows: list[tuple[object, ...]] = []
+        for name in sorted(grouped):
+            records = grouped[name]
+            ratios = [r.ratio for r in records if r.has_optimum]
+            mean_ratio = (
+                f"{float(sum(ratios) / len(ratios)):.4f}" if ratios else "-"
+            )
+            max_ratio = f"{float(max(ratios)):.4f}" if ratios else "-"
+            mean_rounds = sum(r.rounds for r in records) / len(records)
+            rows.append(
+                (
+                    name,
+                    len(records),
+                    mean_ratio,
+                    max_ratio,
+                    f"{mean_rounds:.1f}",
+                    sum(r.solution_size for r in records),
+                )
+            )
+        return rows
+
+    def format_summary(self, *, title: str = "sweep summary") -> str:
+        return format_table(
+            ["algorithm", "units", "mean ratio", "max ratio",
+             "mean rounds", "Σ|D|"],
+            self.summary_rows(),
+            title=title,
+        )
+
+    def to_jsonl(self, path: str | Path) -> None:
+        """Write one canonical-JSON record per line (deterministic bytes)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self.records:
+                handle.write(record.canonical())
+                handle.write("\n")
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path) -> "ResultStore":
+        store = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    store.append(ResultRecord.from_json_dict(json.loads(line)))
+        return store

@@ -1,0 +1,58 @@
+"""Named sweep scenarios for the ``repro-eds sweep`` command.
+
+``default`` is small enough for a laptop smoke run; ``large-regular`` is
+the grid the sequential harness could never finish — random regular
+graphs with d ∈ {2..10} and n up to 2048, ten seeds per cell — and is
+only practical through the engine's sharded executor and cache.
+"""
+
+from __future__ import annotations
+
+from repro.engine.grid import SweepGrid
+
+__all__ = ["SCENARIOS", "get_scenario", "scenario_names"]
+
+SCENARIOS: dict[str, SweepGrid] = {
+    "default": SweepGrid(
+        name="default",
+        algorithms=("port_one", "regular_odd", "bounded_degree"),
+        family="regular",
+        degrees=(2, 3, 4, 5),
+        sizes=(16, 32),
+        seeds=3,
+        optimum="auto",
+    ),
+    "large-regular": SweepGrid(
+        name="large-regular",
+        algorithms=("port_one", "regular_odd", "bounded_degree"),
+        family="regular",
+        degrees=(2, 3, 4, 5, 6, 7, 8, 9, 10),
+        sizes=(64, 128, 256, 512, 1024, 2048),
+        seeds=10,
+        # The exact solver is hopeless at this scale; report ratios
+        # against the poly-time lower bound instead.
+        optimum="lower_bound",
+    ),
+    "bounded-mixed": SweepGrid(
+        name="bounded-mixed",
+        algorithms=("bounded_degree", "ids_greedy", "central_greedy"),
+        family="bounded",
+        degrees=(3, 4, 5),
+        sizes=(16, 32, 64),
+        seeds=5,
+        optimum="auto",
+    ),
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    return tuple(sorted(SCENARIOS))
+
+
+def get_scenario(name: str) -> SweepGrid:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        ) from None

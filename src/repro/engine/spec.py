@@ -1,0 +1,238 @@
+"""Declarative work units for the parallel experiment engine.
+
+A *work unit* (:class:`JobSpec`) is plain data: an algorithm name plus
+parameters, a graph specification (family name, parameters, seed), a
+measurement kind, and measurement options.  Because units are data they
+can be
+
+* hashed into a stable content address (:mod:`repro.engine.cache`),
+* shipped to ``multiprocessing`` workers without pickling any code
+  (:mod:`repro.engine.executor`), and
+* expanded from declarative grids (:mod:`repro.engine.grid`).
+
+The single point where names turn back into runnable code is
+:meth:`GraphSpec.build` (graph families) together with
+:func:`repro.analysis.runner.resolve_algorithm` (algorithms).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Mapping
+
+from repro.generators.bounded import (
+    caterpillar,
+    grid,
+    path,
+    random_bounded_degree,
+    random_tree,
+    star,
+)
+from repro.generators.regular import (
+    complete,
+    cycle,
+    hypercube,
+    random_regular,
+    torus,
+)
+from repro.generators.special import crown, matching_union
+from repro.lowerbounds.even import build_even_lower_bound
+from repro.lowerbounds.instance import LowerBoundInstance
+from repro.lowerbounds.odd import build_odd_lower_bound
+from repro.portgraph.graph import PortNumberedGraph
+
+__all__ = [
+    "GraphSpec",
+    "JobSpec",
+    "canonical_json",
+    "derive_seed",
+    "graph_families",
+]
+
+#: Measurement kinds understood by the executor.
+MEASURES = ("quality", "adversary", "phase_split")
+
+#: Optimum policies for the ``quality`` measure.
+OPTIMUM_MODES = ("auto", "exact", "lower_bound", "none")
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialise *obj* to a canonical JSON string (sorted keys, no
+    whitespace) so equal values always produce equal bytes."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def derive_seed(*parts: Any) -> int:
+    """Derive a deterministic 63-bit seed from arbitrary JSON-able parts.
+
+    Uses SHA-256 (not Python's salted ``hash``) so the same parts yield
+    the same seed in every process, interpreter invocation, and worker —
+    the foundation of reproducible per-unit seeding.
+    """
+    digest = hashlib.sha256(canonical_json(list(parts)).encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+# ---------------------------------------------------------------------------
+# Graph family registry
+# ---------------------------------------------------------------------------
+
+def _seeded(seed: int | None) -> int:
+    return 0 if seed is None else seed
+
+
+_FAMILIES: dict[str, Callable[[dict[str, int], int | None], object]] = {
+    "regular": lambda p, s: random_regular(p["d"], p["n"], seed=_seeded(s)),
+    "cycle": lambda p, s: cycle(p["n"], seed=s),
+    "complete": lambda p, s: complete(p["n"], seed=s),
+    "hypercube": lambda p, s: hypercube(p["dim"], seed=s),
+    "torus": lambda p, s: torus(p["rows"], p["cols"], seed=s),
+    "crown": lambda p, s: crown(p["k"], seed=s),
+    "matching_union": lambda p, s: matching_union(p["pairs"]),
+    "bounded": lambda p, s: random_bounded_degree(
+        p["n"], p["max_degree"], seed=_seeded(s)
+    ),
+    "path": lambda p, s: path(p["n"], seed=s),
+    "grid": lambda p, s: grid(p["rows"], p["cols"], seed=s),
+    "tree": lambda p, s: random_tree(p["n"], seed=_seeded(s)),
+    "star": lambda p, s: star(p["leaves"], seed=s),
+    "caterpillar": lambda p, s: caterpillar(
+        p["spine"], p["legs"], seed=s
+    ),
+    "lower_bound_even": lambda p, s: build_even_lower_bound(p["d"]),
+    "lower_bound_odd": lambda p, s: build_odd_lower_bound(p["d"]),
+}
+
+#: Families whose builder returns a :class:`LowerBoundInstance`.
+LOWER_BOUND_FAMILIES = frozenset({"lower_bound_even", "lower_bound_odd"})
+
+
+def graph_families() -> tuple[str, ...]:
+    """The graph family names work units can reference."""
+    return tuple(sorted(_FAMILIES))
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A graph described as data: family name + parameters + seed."""
+
+    family: str
+    params: tuple[tuple[str, int], ...] = ()
+    seed: int | None = None
+
+    @classmethod
+    def make(
+        cls, family: str, *, seed: int | None = None, **params: int
+    ) -> "GraphSpec":
+        if family not in _FAMILIES:
+            raise KeyError(
+                f"unknown graph family {family!r}; "
+                f"available: {graph_families()}"
+            )
+        return cls(family, tuple(sorted(params.items())), seed)
+
+    @property
+    def is_lower_bound(self) -> bool:
+        return self.family in LOWER_BOUND_FAMILIES
+
+    def build(self) -> PortNumberedGraph | LowerBoundInstance:
+        """Construct the graph (or lower-bound instance) this spec names."""
+        builder = _FAMILIES[self.family]
+        return builder(dict(self.params), self.seed)
+
+    def label(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in self.params)
+        seed = "" if self.seed is None else f" seed={self.seed}"
+        return f"{self.family} {parts}{seed}".strip()
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "family": self.family,
+            "params": dict(self.params),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "GraphSpec":
+        return cls.make(
+            data["family"], seed=data.get("seed"), **data.get("params", {})
+        )
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One independent, hashable unit of experimental work.
+
+    ``measure`` selects what the executor does:
+
+    * ``"quality"`` — run the algorithm, check feasibility, and measure
+      the solution against an optimum chosen by ``optimum``:
+      ``"exact"`` (branch-and-bound), ``"lower_bound"`` (poly-time bound),
+      ``"auto"`` (exact up to ``exact_edge_limit`` edges, else the bound)
+      or ``"none"`` (sizes and rounds only — for round-complexity sweeps
+      and very large grids);
+    * ``"adversary"`` — the graph spec must name a lower-bound
+      construction; runs the Table 1 tightness confrontation;
+    * ``"phase_split"`` — the Theorem 4 phase-I/phase-II snapshot used by
+      the ablation study.
+    """
+
+    algorithm: str
+    graph: GraphSpec
+    algorithm_params: tuple[tuple[str, int], ...] = ()
+    measure: str = "quality"
+    optimum: str = "auto"
+    exact_edge_limit: int = 48
+    count_messages: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.measure not in MEASURES:
+            raise ValueError(
+                f"unknown measure {self.measure!r}; available: {MEASURES}"
+            )
+        if self.optimum not in OPTIMUM_MODES:
+            raise ValueError(
+                f"unknown optimum mode {self.optimum!r}; "
+                f"available: {OPTIMUM_MODES}"
+            )
+        if self.measure == "adversary" and not self.graph.is_lower_bound:
+            raise ValueError(
+                "adversary units need a lower-bound graph family, got "
+                f"{self.graph.family!r}"
+            )
+
+    def with_label(self, label: str) -> "JobSpec":
+        return replace(self, label=label)
+
+    def display_label(self) -> str:
+        return self.label or self.graph.label()
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "algorithm_params": dict(self.algorithm_params),
+            "graph": self.graph.to_json_dict(),
+            "measure": self.measure,
+            "optimum": self.optimum,
+            "exact_edge_limit": self.exact_edge_limit,
+            "count_messages": self.count_messages,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        return cls(
+            algorithm=data["algorithm"],
+            graph=GraphSpec.from_json_dict(data["graph"]),
+            algorithm_params=tuple(
+                sorted(data.get("algorithm_params", {}).items())
+            ),
+            measure=data.get("measure", "quality"),
+            optimum=data.get("optimum", "auto"),
+            exact_edge_limit=data.get("exact_edge_limit", 48),
+            count_messages=data.get("count_messages", False),
+            label=data.get("label", ""),
+        )

@@ -12,24 +12,22 @@ Three ablations quantify why the algorithms are shaped the way they are:
 * **Inflated Δ for A(Δ)** — running A(Δ + 2) on a max-degree-Δ graph is
   correct but pays more rounds and a weaker guarantee; measures the cost
   of a loose degree promise.
+
+Every measured configuration is one engine work unit; the ablation rows
+are assembled from the executed (and cacheable) records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Sequence
+from typing import Callable, Sequence
 
-from repro.algorithms.bounded_degree import BoundedDegreeEDS
-from repro.algorithms.port_one import PortOneEDS
-from repro.algorithms.regular_odd import RegularOddEDS
-from repro.analysis.reference import regular_odd_reference
 from repro.analysis.report import format_table
-from repro.eds.properties import is_edge_dominating_set
-from repro.generators.regular import random_regular
-from repro.lowerbounds.adversary import run_adversary
-from repro.lowerbounds.odd import build_odd_lower_bound
-from repro.runtime.scheduler import run_anonymous
+from repro.engine.cache import ResultCache
+from repro.engine.executor import run_units
+from repro.engine.records import ResultRecord
+from repro.engine.spec import GraphSpec, JobSpec
 
 __all__ = ["AblationRow", "run_ablations", "format_ablations"]
 
@@ -49,82 +47,122 @@ class AblationRow:
         return Fraction(self.solution_size, self.baseline_size)
 
 
-def _phase2_ablation(
-    odd_degrees: Sequence[int], seed: int
-) -> list[AblationRow]:
-    rows = []
-    for d in odd_degrees:
-        n = 4 * d + 2 if (4 * d + 2) * d % 2 == 0 else 4 * d + 3
-        graph = random_regular(d, n, seed=seed)
-        after_phase1, final = regular_odd_reference(graph)
-        assert is_edge_dominating_set(graph, after_phase1)
-        rows.append(
-            AblationRow(
-                ablation="theorem4-without-phase2",
-                configuration=f"d={d}, n={n}",
-                solution_size=len(after_phase1),
-                baseline_size=len(final),
-                note="phase I edge cover vs. full algorithm",
-            )
-        )
-    return rows
+def _regular_instance_size(d: int) -> int:
+    n = 4 * d + 2
+    return n if n * d % 2 == 0 else n + 1
 
 
-def _port_one_on_odd(odd_degrees: Sequence[int]) -> list[AblationRow]:
-    rows = []
-    for d in odd_degrees:
-        inst = build_odd_lower_bound(d)
-        port_one = run_adversary(inst, PortOneEDS)
-        theorem4 = run_adversary(inst, RegularOddEDS)
-        rows.append(
-            AblationRow(
-                ablation="port-one-on-odd-regular",
-                configuration=f"d={d} (Theorem 2 instance)",
-                solution_size=port_one.solution_size,
-                baseline_size=theorem4.solution_size,
-                note=(
-                    f"ratios {port_one.ratio} vs {theorem4.ratio} "
-                    f"(bound {inst.forced_ratio})"
-                ),
-            )
-        )
-    return rows
-
-
-def _inflated_delta(
-    deltas: Sequence[int], seed: int
-) -> list[AblationRow]:
-    rows = []
-    for delta in deltas:
-        n = 4 * delta + 2 if (4 * delta + 2) * delta % 2 == 0 else 4 * delta + 3
-        graph = random_regular(delta, n, seed=seed)
-        tight = run_anonymous(graph, BoundedDegreeEDS(delta))
-        loose = run_anonymous(graph, BoundedDegreeEDS(delta + 2))
-        rows.append(
-            AblationRow(
-                ablation="inflated-delta-promise",
-                configuration=f"graph Δ={delta}, promise Δ+2",
-                solution_size=len(loose.edge_set()),
-                baseline_size=len(tight.edge_set()),
-                note=(
-                    f"rounds {loose.rounds} vs {tight.rounds} "
-                    "(quadratic round cost of a loose promise)"
-                ),
-            )
-        )
-    return rows
+def _forced_ratio(record: ResultRecord) -> Fraction:
+    return Fraction(
+        record.extra["forced_ratio_num"], record.extra["forced_ratio_den"]
+    )
 
 
 def run_ablations(
     odd_degrees: Sequence[int] = (3, 5),
     deltas: Sequence[int] = (3, 4),
     seed: int = 7,
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[AblationRow]:
-    """Run all three ablations and return their rows."""
+    """Run all three ablations and return their rows.
+
+    Each ablation row is planned as (work units, row builder) so the
+    pairing survives edits to any one ablation — the same pattern as
+    the Table 1 driver.
+    """
+    units: list[JobSpec] = []
+    plans: list[tuple[int, Callable[..., AblationRow]]] = []
+
+    def add(builder: Callable[..., AblationRow], *row_units: JobSpec) -> None:
+        units.extend(row_units)
+        plans.append((len(row_units), builder))
+
+    # Theorem 4 without phase II: one phase-split unit per degree.
+    for d in odd_degrees:
+        def phase2_row(record: ResultRecord, d: int = d) -> AblationRow:
+            return AblationRow(
+                ablation="theorem4-without-phase2",
+                configuration=f"d={d}, n={record.num_nodes}",
+                solution_size=record.solution_size,
+                baseline_size=record.extra["final_size"],
+                note="phase I edge cover vs. full algorithm",
+            )
+
+        add(
+            phase2_row,
+            JobSpec(
+                algorithm="regular_odd",
+                graph=GraphSpec.make(
+                    "regular", seed=seed, d=d, n=_regular_instance_size(d)
+                ),
+                measure="phase_split",
+            ),
+        )
+    # PortOne on odd-regular: both algorithms vs. the Theorem 2 instance.
+    for d in odd_degrees:
+        def port_one_row(
+            port_one: ResultRecord, theorem4: ResultRecord, d: int = d
+        ) -> AblationRow:
+            return AblationRow(
+                ablation="port-one-on-odd-regular",
+                configuration=f"d={d} (Theorem 2 instance)",
+                solution_size=port_one.solution_size,
+                baseline_size=theorem4.solution_size,
+                note=(
+                    f"ratios {port_one.ratio} vs {theorem4.ratio} "
+                    f"(bound {_forced_ratio(port_one)})"
+                ),
+            )
+
+        instance = GraphSpec.make("lower_bound_odd", d=d)
+        add(
+            port_one_row,
+            JobSpec(algorithm="port_one", graph=instance, measure="adversary"),
+            JobSpec(
+                algorithm="regular_odd", graph=instance, measure="adversary"
+            ),
+        )
+    # Inflated Δ promise: tight vs. loose promise on the same graph.
+    for delta in deltas:
+        def inflated_row(
+            tight: ResultRecord, loose: ResultRecord, delta: int = delta
+        ) -> AblationRow:
+            return AblationRow(
+                ablation="inflated-delta-promise",
+                configuration=f"graph Δ={delta}, promise Δ+2",
+                solution_size=loose.solution_size,
+                baseline_size=tight.solution_size,
+                note=(
+                    f"rounds {loose.rounds} vs {tight.rounds} "
+                    "(quadratic round cost of a loose promise)"
+                ),
+            )
+
+        graph = GraphSpec.make(
+            "regular", seed=seed, d=delta, n=_regular_instance_size(delta)
+        )
+        add(
+            inflated_row,
+            *(
+                JobSpec(
+                    algorithm="bounded_degree",
+                    algorithm_params=(("delta", promise),),
+                    graph=graph,
+                    measure="quality",
+                    optimum="none",
+                )
+                for promise in (delta, delta + 2)
+            ),
+        )
+
+    records = run_units(units, workers=workers, cache=cache).records
     rows: list[AblationRow] = []
-    rows.extend(_phase2_ablation(odd_degrees, seed))
-    rows.extend(_port_one_on_odd(odd_degrees))
-    rows.extend(_inflated_delta(deltas, seed))
+    cursor = 0
+    for arity, builder in plans:
+        rows.append(builder(*records[cursor:cursor + arity]))
+        cursor += arity
     return rows
 
 

@@ -8,6 +8,10 @@ E12 measures average-case approximation quality on random regular and
 random bounded-degree graphs: the worst-case-tight algorithms do far
 better than their guarantees on typical inputs, and the identified-model
 baseline shows what unique IDs buy.
+
+Both sweeps expand into declarative work units and execute through
+:mod:`repro.engine`, so they can be sharded across workers and served
+incrementally from the content-addressed result cache.
 """
 
 from __future__ import annotations
@@ -17,13 +21,12 @@ from fractions import Fraction
 from typing import Sequence
 
 from repro.algorithms.bounded_degree import BoundedDegreeEDS
-from repro.algorithms.port_one import PortOneEDS
 from repro.algorithms.regular_odd import RegularOddEDS
 from repro.analysis.report import format_table
-from repro.analysis.runner import ExperimentRow, run_on, standard_algorithms
-from repro.generators.bounded import random_bounded_degree
-from repro.generators.regular import random_regular
-from repro.runtime.scheduler import run_anonymous
+from repro.analysis.runner import ExperimentRow
+from repro.engine.cache import ResultCache
+from repro.engine.executor import run_units
+from repro.engine.spec import GraphSpec, JobSpec
 
 __all__ = [
     "RoundComplexityRow",
@@ -51,6 +54,9 @@ def round_complexity_sweep(
     odd_degrees: Sequence[int] = (1, 3, 5, 7),
     sizes: Sequence[int] = (16, 32, 64),
     seed: int = 0,
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[RoundComplexityRow]:
     """Measure rounds vs. degree and vs. n for all three algorithms.
 
@@ -58,32 +64,39 @@ def round_complexity_sweep(
     takes ``2 + 2d²``; Theorem 5 takes ``2Δ'² + 4Δ'`` (Δ' = Δ rounded up
     to odd).  Any deviation is a bug, so the rows carry the prediction.
     """
-    rows: list[RoundComplexityRow] = []
+    units: list[JobSpec] = []
+    meta: list[tuple[str, int, int, int]] = []
     for d in odd_degrees:
         for n in sizes:
             if n <= d or (n * d) % 2:
                 continue
-            graph = random_regular(d, n, seed=seed)
-            result = run_anonymous(graph, PortOneEDS)
-            rows.append(
-                RoundComplexityRow("port_one", d, n, result.rounds, 1)
+            graph = GraphSpec.make("regular", seed=seed, d=d, n=n)
+            plan = (
+                ("port_one", (), 1),
+                ("regular_odd", (), RegularOddEDS.total_rounds(d)),
+                (
+                    "bounded_degree",
+                    (("delta", d),),
+                    BoundedDegreeEDS(d).total_rounds(),
+                ),
             )
-            result = run_anonymous(graph, RegularOddEDS)
-            rows.append(
-                RoundComplexityRow(
-                    "regular_odd", d, n, result.rounds,
-                    RegularOddEDS.total_rounds(d),
+            for name, params, predicted in plan:
+                units.append(
+                    JobSpec(
+                        algorithm=name,
+                        graph=graph,
+                        algorithm_params=params,
+                        measure="quality",
+                        optimum="none",
+                    )
                 )
-            )
-            factory = BoundedDegreeEDS(d)
-            result = run_anonymous(graph, factory)
-            rows.append(
-                RoundComplexityRow(
-                    "bounded_degree", d, n, result.rounds,
-                    factory.total_rounds(),
-                )
-            )
-    return rows
+                meta.append((name, d, n, predicted))
+
+    report = run_units(units, workers=workers, cache=cache)
+    return [
+        RoundComplexityRow(name, d, n, record.rounds, predicted)
+        for record, (name, d, n, predicted) in zip(report.records, meta)
+    ]
 
 
 def format_round_complexity(rows: Sequence[RoundComplexityRow]) -> str:
@@ -112,53 +125,50 @@ def average_case_sweep(
     bounded_size: int = 12,
     instances: int = 5,
     seed: int = 0,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[ExperimentRow]:
     """Average-case ratios on random graphs, all algorithms.
 
     Sizes are kept small enough for the exact optimum so the reported
     ratios are true ratios, not estimates.
     """
-    algorithms = standard_algorithms()
-    rows: list[ExperimentRow] = []
+    units: list[JobSpec] = []
 
     for d in regular_degrees:
         for t in range(instances):
             n = regular_size if (regular_size * d) % 2 == 0 else regular_size + 1
-            graph = random_regular(d, n, seed=seed + t)
+            graph = GraphSpec.make("regular", seed=seed + t, d=d, n=n)
             label = f"regular d={d} #{t}"
-            rows.append(run_on(algorithms["port_one"], graph, graph_label=label))
+            names = ["port_one"]
             if d % 2 == 1:
-                rows.append(
-                    run_on(algorithms["regular_odd"], graph, graph_label=label)
-                )
-            rows.append(
-                run_on(algorithms["bounded_degree"], graph, graph_label=label)
-            )
-            rows.append(
-                run_on(algorithms["ids_greedy"], graph, graph_label=label)
-            )
-            rows.append(
-                run_on(algorithms["central_greedy"], graph, graph_label=label)
+                names.append("regular_odd")
+            names += ["bounded_degree", "ids_greedy", "central_greedy"]
+            units.extend(
+                JobSpec(algorithm=name, graph=graph, label=label)
+                for name in names
             )
 
     for delta in bounded_deltas:
         for t in range(instances):
-            graph = random_bounded_degree(
-                bounded_size, delta, seed=seed + 100 + t
+            graph = GraphSpec.make(
+                "bounded", seed=seed + 100 + t, n=bounded_size,
+                max_degree=delta,
             )
-            if graph.num_edges == 0:
-                continue
             label = f"bounded Δ={delta} #{t}"
-            rows.append(
-                run_on(algorithms["bounded_degree"], graph, graph_label=label)
+            units.extend(
+                JobSpec(algorithm=name, graph=graph, label=label)
+                for name in ("bounded_degree", "ids_greedy", "central_greedy")
             )
-            rows.append(
-                run_on(algorithms["ids_greedy"], graph, graph_label=label)
-            )
-            rows.append(
-                run_on(algorithms["central_greedy"], graph, graph_label=label)
-            )
-    return rows
+
+    report = run_units(units, workers=workers, cache=cache)
+    # Degenerate empty bounded draws carry no information; drop their
+    # rows the way the sequential harness always has.
+    return [
+        record.to_experiment_row()
+        for record in report.records
+        if record.num_edges > 0
+    ]
 
 
 def format_average_case(rows: Sequence[ExperimentRow]) -> str:

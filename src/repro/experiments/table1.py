@@ -7,25 +7,24 @@ table entry exactly — larger would contradict the upper-bound theorem,
 smaller would contradict the lower-bound theorem.  The "Time" column is
 reproduced by reporting the measured round counts (O(1) for Theorem 3,
 O(d²)/O(Δ²) for Theorems 4-5, all independent of n).
+
+Each confrontation is one independent work unit, so the whole table
+executes through :mod:`repro.engine` — shardable across workers and
+incremental under the result cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Sequence
+from typing import Callable, Sequence
 
-from repro.algorithms.bounded_degree import BoundedDegreeEDS
-from repro.algorithms.port_one import PortOneEDS
-from repro.algorithms.regular_odd import RegularOddEDS
 from repro.analysis.report import format_fraction, format_table
 from repro.eds.bounds import bounded_degree_ratio, regular_ratio
-from repro.eds.exact import minimum_eds_size
-from repro.generators.special import matching_union
-from repro.lowerbounds.adversary import run_adversary
-from repro.lowerbounds.even import build_even_lower_bound
-from repro.lowerbounds.odd import build_odd_lower_bound
-from repro.runtime.scheduler import run_anonymous
+from repro.engine.cache import ResultCache
+from repro.engine.executor import run_units
+from repro.engine.records import ResultRecord
+from repro.engine.spec import GraphSpec, JobSpec
 
 __all__ = ["Table1Row", "reproduce_table1", "format_table1"]
 
@@ -49,106 +48,119 @@ class Table1Row:
         return self.tight
 
 
-def _even_rows(even_degrees: Sequence[int]) -> list[Table1Row]:
-    rows = []
-    for d in even_degrees:
-        inst = build_even_lower_bound(d)
-        report = run_adversary(inst, PortOneEDS)
-        rows.append(
-            Table1Row(
-                family="d-regular (even)",
-                parameter=d,
-                paper_ratio=regular_ratio(d),
-                measured_ratio=report.ratio,
-                tight=report.is_tight,
-                rounds=report.rounds,
-                time_bound="O(1)",
-                nodes=inst.graph.num_nodes,
-                edges=inst.graph.num_edges,
-            )
+_RowBuilder = Callable[[ResultRecord], Table1Row]
+
+
+def _adversary_row(
+    family: str, parameter: int, paper_ratio: Fraction, time_bound: str
+) -> _RowBuilder:
+    def build(record: ResultRecord) -> Table1Row:
+        return Table1Row(
+            family=family,
+            parameter=parameter,
+            paper_ratio=paper_ratio,
+            measured_ratio=record.ratio,
+            tight=bool(record.extra["tight"]),
+            rounds=record.rounds,
+            time_bound=time_bound,
+            nodes=record.num_nodes,
+            edges=record.num_edges,
         )
-    return rows
+
+    return build
 
 
-def _odd_rows(odd_degrees: Sequence[int]) -> list[Table1Row]:
-    rows = []
-    for d in odd_degrees:
-        inst = build_odd_lower_bound(d)
-        report = run_adversary(inst, RegularOddEDS)
-        rows.append(
-            Table1Row(
-                family="d-regular (odd)",
-                parameter=d,
-                paper_ratio=regular_ratio(d),
-                measured_ratio=report.ratio,
-                tight=report.is_tight,
-                rounds=report.rounds,
-                time_bound="O(d^2)",
-                nodes=inst.graph.num_nodes,
-                edges=inst.graph.num_edges,
-            )
-        )
-    return rows
-
-
-def _delta_one_row() -> Table1Row:
+def _delta_one_row(record: ResultRecord) -> Table1Row:
     """Δ = 1: A(1) outputs every edge of a perfect matching — optimal."""
-    graph = matching_union(6)
-    result = run_anonymous(graph, BoundedDegreeEDS(1))
-    measured = Fraction(len(result.edge_set()), minimum_eds_size(graph))
     return Table1Row(
         family="max degree Δ",
         parameter=1,
         paper_ratio=Fraction(1),
-        measured_ratio=measured,
-        tight=measured == 1,
-        rounds=result.rounds,
+        measured_ratio=record.ratio,
+        tight=record.ratio == 1,
+        rounds=record.rounds,
         time_bound="O(1)",
-        nodes=graph.num_nodes,
-        edges=graph.num_edges,
+        nodes=record.num_nodes,
+        edges=record.num_edges,
     )
 
 
-def _bounded_rows(ks: Sequence[int]) -> list[Table1Row]:
-    """Δ ∈ {2k, 2k+1}: A(Δ) on the even construction with d = 2k.
+def _plan(
+    even_degrees: Sequence[int],
+    odd_degrees: Sequence[int],
+    ks: Sequence[int],
+) -> tuple[list[JobSpec], list[_RowBuilder]]:
+    units: list[JobSpec] = []
+    builders: list[_RowBuilder] = []
 
-    Corollary 1 lower-bounds both Δ values by the Theorem 1 construction
-    for d = 2k; Theorem 5 matches it, so the measured ratio is exactly
-    4 - 1/k for both parities.
-    """
-    rows = []
+    def add(unit: JobSpec, builder: _RowBuilder) -> None:
+        units.append(unit)
+        builders.append(builder)
+
+    for d in even_degrees:
+        add(
+            JobSpec(
+                algorithm="port_one",
+                graph=GraphSpec.make("lower_bound_even", d=d),
+                measure="adversary",
+            ),
+            _adversary_row("d-regular (even)", d, regular_ratio(d), "O(1)"),
+        )
+    for d in odd_degrees:
+        add(
+            JobSpec(
+                algorithm="regular_odd",
+                graph=GraphSpec.make("lower_bound_odd", d=d),
+                measure="adversary",
+            ),
+            _adversary_row("d-regular (odd)", d, regular_ratio(d), "O(d^2)"),
+        )
+    add(
+        JobSpec(
+            algorithm="bounded_degree",
+            algorithm_params=(("delta", 1),),
+            graph=GraphSpec.make("matching_union", pairs=6),
+            measure="quality",
+            optimum="exact",
+        ),
+        _delta_one_row,
+    )
+    # Δ ∈ {2k, 2k+1}: A(Δ) on the even construction with d = 2k.
+    # Corollary 1 lower-bounds both Δ values by the Theorem 1 construction
+    # for d = 2k; Theorem 5 matches it, so the measured ratio is exactly
+    # 4 - 1/k for both parities.
     for k in ks:
-        inst = build_even_lower_bound(2 * k)
         for delta in (2 * k, 2 * k + 1):
-            report = run_adversary(inst, BoundedDegreeEDS(delta))
-            rows.append(
-                Table1Row(
-                    family="max degree Δ",
-                    parameter=delta,
-                    paper_ratio=bounded_degree_ratio(delta),
-                    measured_ratio=report.ratio,
-                    tight=report.is_tight,
-                    rounds=report.rounds,
-                    time_bound="O(Δ^2)",
-                    nodes=inst.graph.num_nodes,
-                    edges=inst.graph.num_edges,
-                )
+            add(
+                JobSpec(
+                    algorithm="bounded_degree",
+                    algorithm_params=(("delta", delta),),
+                    graph=GraphSpec.make("lower_bound_even", d=2 * k),
+                    measure="adversary",
+                ),
+                _adversary_row(
+                    "max degree Δ", delta, bounded_degree_ratio(delta),
+                    "O(Δ^2)",
+                ),
             )
-    return rows
+    return units, builders
 
 
 def reproduce_table1(
     even_degrees: Sequence[int] = (2, 4, 6, 8, 10, 12),
     odd_degrees: Sequence[int] = (1, 3, 5, 7, 9),
     ks: Sequence[int] = (1, 2, 3, 4, 5),
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[Table1Row]:
     """Run the full Table 1 reproduction and return all rows."""
-    rows: list[Table1Row] = []
-    rows.extend(_even_rows(even_degrees))
-    rows.extend(_odd_rows(odd_degrees))
-    rows.append(_delta_one_row())
-    rows.extend(_bounded_rows(ks))
-    return rows
+    units, builders = _plan(even_degrees, odd_degrees, ks)
+    report = run_units(units, workers=workers, cache=cache)
+    return [
+        builder(record)
+        for builder, record in zip(builders, report.records)
+    ]
 
 
 def format_table1(rows: Sequence[Table1Row]) -> str:

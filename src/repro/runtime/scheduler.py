@@ -56,9 +56,13 @@ def _execute(
     programs: dict[Node, NodeProgram],
     max_rounds: int,
     record_trace: bool,
+    strict_delivery: bool = False,
 ) -> RunResult:
     trace = ExecutionTrace() if record_trace else None
     running = {v for v, prog in programs.items() if not prog.halted}
+    # The deterministic delivery order never changes; fix it once instead
+    # of re-sorting the running set every round.
+    node_order = sorted(programs, key=repr)
     rnd = 0
 
     while running:
@@ -84,9 +88,16 @@ def _execute(
                 u, j = graph.connection(v, port)
                 # Messages to halted nodes are dropped (their programs no
                 # longer receive); in the paper's algorithms all nodes halt
-                # simultaneously so this never matters.
+                # simultaneously so this never matters.  ``strict_delivery``
+                # turns the silent drop into an error so other algorithms
+                # surface the bug.
                 if u in inboxes:
                     inboxes[u][j] = payload
+                elif strict_delivery:
+                    raise SimulationError(
+                        f"node {v!r} sent to halted node {u!r} in round "
+                        f"{rnd} (strict_delivery is enabled)"
+                    )
                 if round_trace is not None:
                     round_trace.messages.append(
                         SentMessage((v, port), (u, j), payload)
@@ -94,7 +105,7 @@ def _execute(
 
         # 2. deliver and let nodes step / halt
         newly_halted: list[Node] = []
-        for v in sorted(running, key=repr):
+        for v in (u for u in node_order if u in running):
             programs[v].receive(rnd, inboxes[v])
             if programs[v].halted:
                 newly_halted.append(v)
@@ -120,6 +131,7 @@ def run_anonymous(
     *,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     record_trace: bool = False,
+    strict_delivery: bool = False,
 ) -> RunResult:
     """Run a deterministic anonymous algorithm on *graph*.
 
@@ -129,6 +141,12 @@ def run_anonymous(
 
     Nodes of degree 0 are halted immediately with empty output (they can
     never receive information).
+
+    With ``strict_delivery`` a message addressed to a node that has
+    already halted raises :class:`SimulationError` instead of being
+    silently dropped; the paper's algorithms halt all nodes simultaneously
+    so they are unaffected, but the option surfaces lifecycle bugs in
+    user-supplied algorithms.
     """
     programs: dict[Node, NodeProgram] = {}
     for v in graph.nodes:
@@ -136,7 +154,7 @@ def run_anonymous(
         if graph.degree(v) == 0 and not prog.halted:
             prog.halt(frozenset())
         programs[v] = prog
-    return _execute(graph, programs, max_rounds, record_trace)
+    return _execute(graph, programs, max_rounds, record_trace, strict_delivery)
 
 
 def run_identified(
@@ -146,6 +164,7 @@ def run_identified(
     ids: Mapping[Node, int] | None = None,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     record_trace: bool = False,
+    strict_delivery: bool = False,
 ) -> RunResult:
     """Run an algorithm in the stronger unique-identifier model.
 
@@ -165,4 +184,4 @@ def run_identified(
         if graph.degree(v) == 0 and not prog.halted:
             prog.halt(frozenset())
         programs[v] = prog
-    return _execute(graph, programs, max_rounds, record_trace)
+    return _execute(graph, programs, max_rounds, record_trace, strict_delivery)

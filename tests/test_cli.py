@@ -67,3 +67,65 @@ class TestCommands:
         )
         assert code == 0
         assert "demo run" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def _run(self, capsys, *extra):
+        code = main(
+            [
+                "sweep",
+                "--degrees", "2,3",
+                "--sizes", "12",
+                "--seeds", "1",
+                "--quiet",
+                *extra,
+            ]
+        )
+        return code, capsys.readouterr().out
+
+    def test_sweep_without_cache(self, capsys):
+        code, out = self._run(capsys, "--no-cache")
+        assert code == 0
+        assert "sweep 'default'" in out
+        assert "cache: disabled" in out
+
+    def test_sweep_cache_round_trip(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, out = self._run(capsys, "--cache-dir", cache_dir)
+        assert code == 0
+        assert "0 hit(s)" in out
+        code, out = self._run(capsys, "--cache-dir", cache_dir)
+        assert code == 0
+        assert "100.0% hit rate" in out
+
+    def test_sweep_workers_match_serial(self, capsys, tmp_path):
+        serial = tmp_path / "serial.jsonl"
+        parallel = tmp_path / "parallel.jsonl"
+        code, _ = self._run(
+            capsys, "--no-cache", "--jsonl", str(serial)
+        )
+        assert code == 0
+        code, _ = self._run(
+            capsys, "--no-cache", "--workers", "4", "--jsonl", str(parallel)
+        )
+        assert code == 0
+        assert serial.read_bytes() == parallel.read_bytes()
+
+    def test_sweep_rejects_unknown_algorithm(self, capsys):
+        code, _ = self._run(capsys, "--no-cache", "--algorithms", "bogus")
+        assert code == 2
+
+    def test_sweep_rejects_empty_grid(self, capsys):
+        code = main(
+            ["sweep", "--degrees", "3", "--sizes", "3", "--quiet",
+             "--no-cache"]
+        )
+        assert code == 2
+        assert "zero feasible" in capsys.readouterr().err
+
+    def test_workers_flag_on_legacy_commands(self, capsys):
+        code = main(
+            ["rounds", "--degrees", "1,3", "--sizes", "12", "--workers", "2"]
+        )
+        assert code == 0
+        assert "round complexity" in capsys.readouterr().out

@@ -242,3 +242,65 @@ class TestCoveringInvariance:
         lift_result = run_anonymous(lift, LearnNeighbourPort)
         for v in lift.nodes:
             assert lift_result.outputs[v] == base_result.outputs[f[v]]
+
+
+class HaltByDegreeThenChatter(NodeProgram):
+    """Degree-1 nodes halt after round 0; everyone else keeps sending.
+
+    Exercises the halted-recipient path: once the leaves halt, their
+    still-running neighbours keep addressing messages to them.
+    """
+
+    def send(self, rnd):
+        return {i: "ping" for i in range(1, self.degree + 1)}
+
+    def receive(self, rnd, inbox):
+        if self.degree == 1:
+            self.halt()
+        elif rnd >= 2:
+            self.halt()
+
+
+class TestStrictDelivery:
+    def _star(self):
+        return from_networkx(nx.star_graph(3))
+
+    def test_default_silently_drops(self):
+        result = run_anonymous(self._star(), HaltByDegreeThenChatter)
+        assert result.rounds == 3
+
+    def test_strict_delivery_raises(self):
+        with pytest.raises(SimulationError, match="halted node"):
+            run_anonymous(
+                self._star(), HaltByDegreeThenChatter, strict_delivery=True
+            )
+
+    def test_strict_delivery_passes_when_all_halt_together(self, triangle):
+        result = run_anonymous(
+            triangle, HaltImmediately, strict_delivery=True
+        )
+        assert result.rounds == 1
+
+    def test_identified_runner_supports_strict_delivery(self, triangle):
+        class OutputNothing(NodeProgram):
+            def __init__(self, degree, uid):
+                super().__init__(degree)
+
+            def send(self, rnd):
+                return {}
+
+            def receive(self, rnd, inbox):
+                self.halt()
+
+        result = run_identified(
+            triangle, OutputNothing, strict_delivery=True
+        )
+        assert result.rounds == 1
+
+    def test_paper_algorithms_pass_strict_delivery(self):
+        from repro.algorithms.regular_odd import RegularOddEDS
+        from repro.generators.regular import random_regular
+
+        graph = random_regular(3, 12, seed=0)
+        result = run_anonymous(graph, RegularOddEDS, strict_delivery=True)
+        assert result.edge_set()
