@@ -1,8 +1,10 @@
 """E17 — message complexity of the three algorithms.
 
-Times the traced runs; the experiment's structural expectations
-(PortOne sends exactly 2|E| messages; setup rounds are the traffic peak;
-per-node traffic independent of n) are asserted inside the sweep.
+Times the traced runs, now routed through the engine's ``messages``
+measure (shardable and cacheable like any other units).  The structural
+expectations (PortOne sends exactly 2|E| messages; setup rounds are the
+traffic peak) are pinned in tests/test_messages_experiment.py; per-node
+traffic independence of n is asserted here.
 """
 
 from __future__ import annotations

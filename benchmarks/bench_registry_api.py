@@ -1,0 +1,69 @@
+"""The repro.api façade under load: engine sweeps via the registry.
+
+Times a mixed-model grid — the paper's deterministic algorithms, the
+identified and central baselines, and the randomised matching plugin —
+through ``api.run_sweep``, and the cache-served rerun that should be
+orders of magnitude faster.  Correctness is asserted the way the
+engine's contract states it: a cached rerun returns byte-identical
+records, randomised units included.
+"""
+
+from __future__ import annotations
+
+from repro import api
+from repro.engine import ResultCache, SweepGrid
+
+from conftest import emit
+
+GRID = SweepGrid(
+    name="bench-registry-api",
+    algorithms=(
+        "port_one", "regular_odd", "bounded_degree",
+        "ids_greedy", "central_greedy", "randomized_matching",
+    ),
+    family="regular",
+    degrees=(2, 3, 4, 5),
+    sizes=(16, 32),
+    seeds=2,
+    optimum="auto",
+)
+
+
+def test_api_sweep_cold(benchmark):
+    report = benchmark.pedantic(
+        api.run_sweep, args=(GRID,), rounds=1, iterations=1
+    )
+    emit(report.store.format_summary(title="bench — api.run_sweep (cold)"))
+    assert len(report.records) == len(GRID.expand())
+    assert all(r.ratio >= 1 for r in report.records if r.has_optimum)
+
+
+def test_api_sweep_cache_served(benchmark, tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = api.run_sweep(GRID, cache=cache)
+
+    warm = benchmark.pedantic(
+        api.run_sweep, args=(GRID,), kwargs={"cache": cache},
+        rounds=1, iterations=1,
+    )
+    assert warm.cache_hits == len(cold.records)
+    assert [r.canonical() for r in warm.records] == [
+        r.canonical() for r in cold.records
+    ]
+
+
+def test_api_messages_measure(benchmark):
+    report = benchmark.pedantic(
+        api.run_sweep,
+        args=(GRID,),
+        kwargs={"measure": "messages", "sizes": (16,), "seeds": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert all(r.messages is not None for r in report.records)
+    # central_greedy sends nothing; every simulated model sends something
+    for record in report.records:
+        if record.algorithm == "central_greedy":
+            assert record.messages == 0
+        else:
+            assert record.messages > 0

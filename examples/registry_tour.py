@@ -1,0 +1,129 @@
+"""Tutorial: the plugin registry and the one-stop ``repro.api`` façade.
+
+The paper's experiments are a cross-product of algorithms × graph
+families × measures; ``repro.registry`` makes every axis pluggable.
+This walkthrough registers one of each —
+
+* a **custom algorithm** (``lazy_matching``: the identified-model greedy
+  baseline re-registered under a promise-free name),
+* a **custom graph family** (``concentric_cycles``: two concentric
+  cycles joined by spokes, built from the stock generators),
+* a **custom measure** (``edge_economy``: what fraction of the graph's
+  edges the solution spends)
+
+— and then runs the full cross-product through ``repro.api`` without
+touching any engine internals.  Everything registered here is equally
+reachable from the CLI (``repro-eds sweep --algorithms ... --measure
+...``) and is cached under the same content addresses.
+
+Note that the registrations happen at **module import time**, not
+inside a function: engine work units record which modules registered
+their entries, so ``--workers N`` processes can re-import this module
+and find the plugins even under the ``spawn`` multiprocessing start
+method.
+
+Run with::
+
+    python examples/registry_tour.py
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro import api
+from repro.algorithms.maximal_matching_ids import GreedyMaximalMatchingIds
+from repro.engine import JobSpec
+from repro.generators.regular import cycle
+from repro.portgraph.convert import from_networkx, to_simple_networkx
+from repro.registry import (
+    Measure,
+    register_graph_family,
+    register_identified,
+    register_measure,
+)
+
+# 1. an algorithm: model + name + factory; params would go alongside
+register_identified(
+    "lazy_matching",
+    lambda graph: GreedyMaximalMatchingIds,
+    description="greedy maximal matching, re-registered as a plugin",
+)
+
+
+# 2. a graph family: (params, seed) -> graph, addressable as data
+@register_graph_family("concentric_cycles", params=("n",))
+def build_concentric_cycles(params, seed):
+    inner = to_simple_networkx(cycle(params["n"], seed=seed))
+    outer = nx.relabel_nodes(inner, {v: f"outer-{v}" for v in inner.nodes})
+    both = nx.union(inner, outer)
+    for v in inner.nodes:
+        both.add_edge(v, f"outer-{v}")
+    return from_networkx(both)
+
+
+# 3. a measure: measure(graph, run) -> record-field overrides;
+#    unknown keys land in the record's `extra` mapping
+@register_measure
+class EdgeEconomy(Measure):
+    name = "edge_economy"
+
+    def measure(self, graph, run):
+        return {
+            "edge_economy_pct": round(
+                100 * len(run.edge_set) / graph.num_edges, 1
+            )
+        }
+
+
+def main() -> None:
+    # one unit: custom algorithm x custom family x custom measure
+    record = api.run_one(
+        "lazy_matching",
+        api.graph("concentric_cycles", n=8, seed=1),
+        measure="edge_economy",
+    )
+    assert record.graph_family == "concentric_cycles"
+    economy = record.extra["edge_economy_pct"]
+    print(
+        f"lazy_matching on concentric_cycles(n=8): "
+        f"|D| = {record.solution_size} of m = {record.num_edges} edges "
+        f"({economy}% spent)"
+    )
+
+    # the same names drop straight into a declarative engine sweep —
+    # mixed with the paper's algorithms and the built-in messages measure
+    report = api.run_sweep(
+        [
+            JobSpec(
+                algorithm=algorithm,
+                graph=api.graph("concentric_cycles", n=6, seed=2),
+                measure="messages",
+            )
+            for algorithm in ("lazy_matching", "port_one",
+                              "randomized_matching")
+        ]
+    )
+    print("\nmessage complexity on concentric_cycles(n=6):")
+    for rec in report.records:
+        print(
+            f"  {rec.algorithm:<20} rounds={rec.rounds:<4} "
+            f"messages={rec.messages}"
+        )
+
+    # randomised runs are data: the same unit always replays the same
+    # coins (the RNG seed is derived from the unit's content hash)
+    first = api.run_one(
+        "randomized_matching", api.graph("concentric_cycles", n=6, seed=2),
+        measure="messages",
+    )
+    again = api.run_one(
+        "randomized_matching", api.graph("concentric_cycles", n=6, seed=2),
+        measure="messages",
+    )
+    assert first.canonical() == again.canonical()
+    print("\nrandomised reruns are byte-identical: True")
+
+
+if __name__ == "__main__":
+    main()

@@ -418,3 +418,26 @@ class _BoundedDegreeProgram(LabelAwareProgram):
             self.stage_accepted = True
         elif reply == ("rej",):
             self.stage_index += 1
+
+
+# Registered where it is defined: work units reach this program by name.
+# ``delta`` is the optional explicit degree promise (the inflated-Δ
+# ablation uses it); without it the promise defaults to the graph's own
+# maximum degree, matching the historical harness behaviour.
+from repro.registry.algorithms import register_anonymous  # noqa: E402
+
+
+def _bounded_degree_factory(graph, delta=None):
+    promise = delta if delta is not None else max(graph.max_degree, 1)
+    return BoundedDegreeEDS(promise)
+
+
+register_anonymous(
+    "bounded_degree",
+    _bounded_degree_factory,
+    params=("delta",),
+    description=(
+        "Theorem 5 family A(Δ): O(Δ^2) rounds, ratio 4 - 1/⌊Δ/2⌋ under "
+        "a max-degree promise"
+    ),
+)

@@ -114,3 +114,13 @@ class GreedyMaximalMatchingIds(NodeProgram):
                     self.halt({self.proposed_port})
                     return
             self.proposed_port = None
+
+
+# Registered where it is defined: work units reach this program by name.
+from repro.registry.algorithms import register_identified  # noqa: E402
+
+register_identified(
+    "ids_greedy",
+    lambda graph: GreedyMaximalMatchingIds,
+    description="identified-model greedy maximal matching baseline",
+)

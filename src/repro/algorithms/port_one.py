@@ -47,3 +47,13 @@ class PortOneEDS(NodeProgram):
             i for i, peer_port in inbox.items() if i == 1 or peer_port == 1
         }
         self.halt(selected)
+
+
+# Registered where it is defined: work units reach this program by name.
+from repro.registry.algorithms import register_anonymous  # noqa: E402
+
+register_anonymous(
+    "port_one",
+    lambda graph: PortOneEDS,
+    description="Theorem 3: O(1) rounds, ratio 4 - 2/d on d-regular graphs",
+)

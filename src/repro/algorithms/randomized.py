@@ -101,3 +101,18 @@ class RandomizedMaximalMatching(NodeProgram):
                 and inbox.get(self.proposed_port) == ("acc",)
             ):
                 self.halt({self.proposed_port})
+
+
+# Registered where it is defined: work units reach this program by name.
+# The engine hands every unit a content-hash-derived rng_seed, which is
+# what makes randomised runs cache-correct and byte-reproducible.
+from repro.registry.algorithms import register_randomized  # noqa: E402
+
+register_randomized(
+    "randomized_matching",
+    lambda graph: RandomizedMaximalMatching,
+    description=(
+        "anonymous randomised maximal matching (Israeli-Itai style); "
+        "2-approximate EDS with private coins"
+    ),
+)

@@ -129,3 +129,16 @@ class RegularOddEDS(LabelAwareProgram):
     def total_rounds(d: int) -> int:
         """The exact number of rounds the program takes on d-regular input."""
         return 2 + 2 * d * d
+
+
+# Registered where it is defined: work units reach this program by name.
+from repro.registry.algorithms import register_anonymous  # noqa: E402
+
+register_anonymous(
+    "regular_odd",
+    lambda graph: RegularOddEDS,
+    description=(
+        "Theorem 4: O(d^2) rounds, ratio 4 - 6/(d+1) on odd-d-regular "
+        "graphs"
+    ),
+)

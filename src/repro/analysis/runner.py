@@ -4,24 +4,27 @@ A thin orchestration layer shared by the CLI, the examples, and the
 benchmark harness.  An *algorithm spec* couples a display name with a
 callable running it on a port-numbered graph and returning the selected
 edge set plus the round count.
+
+Since the introduction of :mod:`repro.registry` this module no longer
+owns the algorithm table: :func:`standard_algorithms` and the deprecated
+:func:`resolve_algorithm` are thin adapters over the registry, kept so
+historical call sites (and one release's worth of external users)
+continue to work.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable
+from typing import Any, Callable
 
-from repro.algorithms.bounded_degree import BoundedDegreeEDS
-from repro.algorithms.maximal_matching_ids import GreedyMaximalMatchingIds
-from repro.algorithms.port_one import PortOneEDS
-from repro.algorithms.regular_odd import RegularOddEDS
 from repro.analysis.ratio import RatioReport, measure_ratio
-from repro.eds.greedy import two_approx_eds
 from repro.portgraph.graph import PortNumberedGraph
 from repro.portgraph.ports import PortEdge
+from repro.registry.algorithms import BoundAlgorithm
+from repro.registry.algorithms import resolve as _registry_resolve
 from repro.runtime.algorithm import AnonymousAlgorithm
-from repro.runtime.scheduler import run_anonymous, run_identified
 
 __all__ = [
     "AlgorithmSpec",
@@ -46,8 +49,13 @@ class AlgorithmSpec:
 
     name: str
     run: Runner
-    model: str  # "anonymous" | "identified" | "central"
+    model: str  # "anonymous" | "identified" | "randomized" | "central"
     factory: Callable[[PortNumberedGraph], AnonymousAlgorithm] | None = None
+
+    @classmethod
+    def from_bound(cls, bound: BoundAlgorithm) -> "AlgorithmSpec":
+        """Adapt a registry :class:`BoundAlgorithm` to the legacy shape."""
+        return cls(bound.name, bound.run, bound.model, bound.factory)
 
 
 @dataclass(frozen=True)
@@ -70,87 +78,44 @@ class ExperimentRow:
         return float(self.ratio)
 
 
-def _port_one(graph: PortNumberedGraph):
-    result = run_anonymous(graph, PortOneEDS)
-    return result.edge_set(), result.rounds
-
-
-def _regular_odd(graph: PortNumberedGraph):
-    result = run_anonymous(graph, RegularOddEDS)
-    return result.edge_set(), result.rounds
-
-
-def _bounded(graph: PortNumberedGraph):
-    result = run_anonymous(graph, BoundedDegreeEDS(max(graph.max_degree, 1)))
-    return result.edge_set(), result.rounds
-
-
-def _ids_greedy(graph: PortNumberedGraph):
-    result = run_identified(graph, GreedyMaximalMatchingIds)
-    return result.edge_set(), result.rounds
-
-
-def _central_greedy(graph: PortNumberedGraph):
-    return two_approx_eds(graph), 0
+#: The historical harness comparison set (the deterministic algorithms
+#: plus both baselines).  The registry may contain more — randomised
+#: algorithms, third-party plugins — see repro.registry.algorithm_names().
+STANDARD_ALGORITHM_NAMES = (
+    "port_one",
+    "regular_odd",
+    "bounded_degree",
+    "ids_greedy",
+    "central_greedy",
+)
 
 
 def standard_algorithms() -> dict[str, AlgorithmSpec]:
-    """The algorithms the harness compares.
+    """The algorithms the harness compares, resolved from the registry.
 
     ``port_one`` and ``regular_odd`` are only *guaranteed* on regular
     graphs of the right parity; the runner executes whatever it is given
     and feasibility is checked downstream.
     """
     return {
-        "port_one": AlgorithmSpec(
-            "port_one", _port_one, "anonymous", lambda graph: PortOneEDS
-        ),
-        "regular_odd": AlgorithmSpec(
-            "regular_odd", _regular_odd, "anonymous",
-            lambda graph: RegularOddEDS,
-        ),
-        "bounded_degree": AlgorithmSpec(
-            "bounded_degree", _bounded, "anonymous",
-            lambda graph: BoundedDegreeEDS(max(graph.max_degree, 1)),
-        ),
-        "ids_greedy": AlgorithmSpec("ids_greedy", _ids_greedy, "identified"),
-        "central_greedy": AlgorithmSpec(
-            "central_greedy", _central_greedy, "central"
-        ),
+        name: AlgorithmSpec.from_bound(_registry_resolve(name))
+        for name in STANDARD_ALGORITHM_NAMES
     }
 
 
-def resolve_algorithm(name: str, **params: int) -> AlgorithmSpec:
-    """Resolve an algorithm name (plus optional parameters) to a spec.
+def resolve_algorithm(name: str, **params: Any) -> AlgorithmSpec:
+    """Deprecated: resolve an algorithm name to a legacy spec.
 
-    The parallel experiment engine addresses algorithms by name so that
-    work units stay plain data; this is the single point where names turn
-    back into runnable code.  ``bounded_degree`` accepts an explicit
-    ``delta`` promise (used e.g. by the inflated-Δ ablation); all other
-    algorithms take no parameters.
+    Use :func:`repro.registry.resolve` instead — it understands all four
+    models (including randomised algorithms, which need an engine-derived
+    RNG seed this shim cannot provide).
     """
-    if name == "bounded_degree" and "delta" in params:
-        delta = params.pop("delta")
-        if params:
-            raise KeyError(f"unknown parameters for {name}: {sorted(params)}")
-
-        def _bounded_fixed(graph: PortNumberedGraph):
-            result = run_anonymous(graph, BoundedDegreeEDS(delta))
-            return result.edge_set(), result.rounds
-
-        return AlgorithmSpec(
-            "bounded_degree", _bounded_fixed, "anonymous",
-            lambda graph: BoundedDegreeEDS(delta),
-        )
-    if params:
-        raise KeyError(f"unknown parameters for {name}: {sorted(params)}")
-    try:
-        return standard_algorithms()[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown algorithm {name!r}; available: "
-            f"{sorted(standard_algorithms())}"
-        ) from None
+    warnings.warn(
+        "resolve_algorithm() is deprecated; use repro.registry.resolve()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return AlgorithmSpec.from_bound(_registry_resolve(name, params))
 
 
 def run_on(

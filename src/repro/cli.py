@@ -4,15 +4,19 @@ Examples
 --------
 ::
 
-    repro-eds table1
+    repro-eds table1 --workers 4
     repro-eds figure 4
     repro-eds figure all
     repro-eds rounds --degrees 1,3,5,7 --sizes 16,32,64
     repro-eds average --instances 3
-    repro-eds ablation
+    repro-eds ablation --workers 2
     repro-eds sweep --scenario default --workers 4
     repro-eds sweep --scenario large-regular --workers 8 --jsonl out.jsonl
     repro-eds sweep --no-cache --degrees 3,5 --sizes 16 --seeds 2
+    repro-eds sweep --algorithms randomized_matching --measure messages
+    repro-eds messages --degrees 3,5 --sizes 16,32,64
+    repro-eds cache stats
+    repro-eds cache clear
     repro-eds demo --family regular -d 3 -n 16 --algorithm regular_odd
 """
 
@@ -22,18 +26,24 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import api
 from repro.analysis.report import format_table
-from repro.analysis.runner import run_on, standard_algorithms
+from repro.analysis.runner import AlgorithmSpec, run_on
 from repro.engine import (
     DEFAULT_CACHE_DIR,
     ProgressPrinter,
     ResultCache,
+    derive_seed,
     get_scenario,
-    run_units,
     scenario_names,
 )
+from repro.engine.cache import human_bytes
 from repro.experiments.ablation import format_ablations, run_ablations
 from repro.experiments.figures import all_figures
+from repro.experiments.messages import (
+    format_messages,
+    message_complexity_sweep,
+)
 from repro.experiments.sweeps import (
     average_case_sweep,
     format_average_case,
@@ -43,6 +53,12 @@ from repro.experiments.sweeps import (
 from repro.experiments.table1 import format_table1, reproduce_table1
 from repro.generators.bounded import grid, random_bounded_degree
 from repro.generators.regular import cycle, random_regular
+from repro.registry import (
+    algorithm_names,
+    get_measure,
+    measure_names,
+    resolve,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -70,6 +86,17 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _engine_cache(args: argparse.Namespace) -> ResultCache | None:
+    return api.as_cache(args.cache, cache_dir=args.cache_dir)
+
+
+def _grid_measures() -> tuple[str, ...]:
+    """Measures usable on declarative grids (``sweep --measure``)."""
+    return tuple(
+        name for name in measure_names() if get_measure(name).grid_safe
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-eds",
@@ -84,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     t1.add_argument("--even", type=_int_list, default=(2, 4, 6, 8, 10, 12))
     t1.add_argument("--odd", type=_int_list, default=(1, 3, 5, 7, 9))
     t1.add_argument("--ks", type=_int_list, default=(1, 2, 3, 4, 5))
+    _add_engine_flags(t1)
 
     fig = sub.add_parser("figure", help="reproduce a figure (E5-E11)")
     fig.add_argument("figure_id", choices=[*all_figures().keys(), "all"])
@@ -98,7 +126,23 @@ def build_parser() -> argparse.ArgumentParser:
     avg.add_argument("--seed", type=int, default=0)
     avg.add_argument("--workers", type=int, default=1)
 
-    sub.add_parser("ablation", help="ablation studies (E13)")
+    abl = sub.add_parser("ablation", help="ablation studies (E13)")
+    _add_engine_flags(abl)
+
+    msg = sub.add_parser(
+        "messages",
+        help="message-complexity sweep (E17) through the engine",
+    )
+    msg.add_argument("--degrees", type=_int_list, default=(3, 5),
+                     help="odd degree parameters, e.g. 3,5")
+    msg.add_argument("--sizes", type=_int_list, default=(16, 32, 64))
+    msg.add_argument("--seed", type=int, default=0)
+    msg.add_argument(
+        "--algorithms", type=_str_list, default=None,
+        help="override the profiled algorithms, e.g. "
+        "port_one,randomized_matching",
+    )
+    _add_engine_flags(msg)
 
     sweep = sub.add_parser(
         "sweep",
@@ -123,7 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--algorithms", type=_str_list, default=None,
-        help="override the algorithm list, e.g. port_one,bounded_degree",
+        help="override the algorithm list, e.g. port_one,bounded_degree "
+        f"(registered: {','.join(algorithm_names())})",
+    )
+    sweep.add_argument(
+        "--measure", choices=_grid_measures(), default=None,
+        help="override the scenario's measure (default: its own, "
+        "usually 'quality')",
     )
     sweep.add_argument(
         "--jsonl", default=None, metavar="PATH",
@@ -135,6 +185,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flags(sweep)
 
+    cache = sub.add_parser(
+        "cache", help="maintain the content-addressed result cache"
+    )
+    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+
     verify = sub.add_parser(
         "verify",
         help="run the whole reproduction (Table 1, figures, rounds) "
@@ -142,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--fast", action="store_true",
                         help="smaller parameter ranges")
+    _add_engine_flags(verify)
 
     render = sub.add_parser(
         "render", help="print a lower-bound construction and its quotient"
@@ -155,7 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["regular", "cycle", "grid", "bounded"],
         default="regular",
     )
-    demo.add_argument("--algorithm", choices=sorted(standard_algorithms()),
+    demo.add_argument("--algorithm", choices=algorithm_names(),
                       default="bounded_degree")
     demo.add_argument("-n", type=int, default=16)
     demo.add_argument("-d", type=int, default=3,
@@ -182,7 +242,12 @@ def _run_demo(args: argparse.Namespace) -> str:
         graph = random_bounded_degree(args.n, args.d, seed=args.seed)
         label = f"random bounded Δ={args.d}, n={args.n}"
 
-    spec = standard_algorithms()[args.algorithm]
+    # Resolved through the registry, so every registered algorithm —
+    # randomised ones included — is demo-able by name.
+    bound = resolve(
+        args.algorithm, rng_seed=derive_seed("demo", args.seed)
+    )
+    spec = AlgorithmSpec.from_bound(bound)
     row = run_on(spec, graph, graph_label=label)
     return format_table(
         ["graph", "algorithm", "n", "m", "|D|",
@@ -207,7 +272,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "table1":
-        rows = reproduce_table1(args.even, args.odd, args.ks)
+        rows = reproduce_table1(
+            args.even, args.odd, args.ks,
+            workers=max(1, args.workers), cache=_engine_cache(args),
+        )
         print(format_table1(rows))
         if not all(r.tight for r in rows):
             print("ERROR: some rows are not tight", file=sys.stderr)
@@ -236,15 +304,49 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         print(format_average_case(rows))
     elif args.command == "ablation":
-        print(format_ablations(run_ablations()))
+        print(format_ablations(run_ablations(
+            workers=max(1, args.workers), cache=_engine_cache(args),
+        )))
+    elif args.command == "messages":
+        return _run_messages(args)
     elif args.command == "sweep":
         return _run_sweep(args)
+    elif args.command == "cache":
+        return _run_cache(args)
     elif args.command == "verify":
-        return _run_verify(fast=args.fast)
+        return _run_verify(
+            fast=args.fast,
+            workers=max(1, args.workers),
+            cache=_engine_cache(args),
+        )
     elif args.command == "render":
         print(_run_render(args))
     elif args.command == "demo":
         print(_run_demo(args))
+    return 0
+
+
+def _run_messages(args: argparse.Namespace) -> int:
+    """Run the E17 message-complexity sweep through the engine."""
+    algorithms = (
+        args.algorithms if args.algorithms is not None
+        else ("port_one", "regular_odd", "bounded_degree")
+    )
+    unknown = set(algorithms) - set(algorithm_names())
+    if unknown:
+        print(f"ERROR: unknown algorithms {sorted(unknown)}", file=sys.stderr)
+        return 2
+    rows = message_complexity_sweep(
+        args.degrees, args.sizes, args.seed,
+        algorithms=algorithms,
+        workers=max(1, args.workers),
+        cache=_engine_cache(args),
+    )
+    if not rows:
+        print("ERROR: the grid expanded to zero feasible work units",
+              file=sys.stderr)
+        return 2
+    print(format_messages(rows))
     return 0
 
 
@@ -258,8 +360,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
         overrides["sizes"] = args.sizes
     if args.seeds is not None:
         overrides["seeds"] = args.seeds
+    if args.measure is not None:
+        overrides["measure"] = args.measure
     if args.algorithms is not None:
-        unknown = set(args.algorithms) - set(standard_algorithms())
+        unknown = set(args.algorithms) - set(algorithm_names())
         if unknown:
             print(f"ERROR: unknown algorithms {sorted(unknown)}",
                   file=sys.stderr)
@@ -278,12 +382,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
-    cache = ResultCache(args.cache_dir) if args.cache else None
+    cache = _engine_cache(args)
     progress = (
         None if args.quiet
         else ProgressPrinter(len(units), label=f"sweep:{scenario.name}")
     )
-    report = run_units(
+    report = api.run_sweep(
         units, workers=max(1, args.workers), cache=cache, progress=progress
     )
     print(report.store.format_summary(
@@ -299,16 +403,31 @@ def _run_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_verify(*, fast: bool) -> int:
-    """Run every headline check; return 0 only if all pass."""
-    from repro.experiments.figures import all_figures
+def _run_cache(args: argparse.Namespace) -> int:
+    """Cache maintenance: human-readable stats, or clear everything."""
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        print(cache.stats().format())
+        return 0
+    stats = cache.stats()
+    removed = cache.clear()
+    print(
+        f"removed {removed} cached record(s) "
+        f"({human_bytes(stats.total_bytes)}) from {args.cache_dir}"
+    )
+    return 0
 
+
+def _run_verify(
+    *, fast: bool, workers: int = 1, cache: ResultCache | None = None
+) -> int:
+    """Run every headline check; return 0 only if all pass."""
     failures: list[str] = []
 
     even = (2, 4) if fast else (2, 4, 6, 8, 10, 12)
     odd = (1, 3) if fast else (1, 3, 5, 7, 9)
     ks = (1, 2) if fast else (1, 2, 3, 4, 5)
-    rows = reproduce_table1(even, odd, ks)
+    rows = reproduce_table1(even, odd, ks, workers=workers, cache=cache)
     tight = sum(1 for r in rows if r.tight)
     print(f"[table1] {tight}/{len(rows)} rows tight")
     if tight != len(rows):
@@ -325,6 +444,8 @@ def _run_verify(*, fast: bool) -> int:
     sweep = round_complexity_sweep(
         odd_degrees=(1, 3) if fast else (1, 3, 5, 7),
         sizes=(12,) if fast else (16, 32, 64),
+        workers=workers,
+        cache=cache,
     )
     ok = sum(1 for r in sweep if r.matches_prediction)
     print(f"[rounds] {ok}/{len(sweep)} round counts match closed forms")

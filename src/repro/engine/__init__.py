@@ -10,6 +10,10 @@ The engine turns the reproduction's experiments into data-driven grids:
   ``.repro-cache/`` keyed by the SHA-256 of each unit's canonical JSON;
 * :mod:`repro.engine.executor` — serial or ``multiprocessing``-sharded
   execution with write-through caching and progress/ETA reporting;
+* :mod:`repro.engine.measures` — the built-in measures (``quality``,
+  ``messages``, ``adversary``, ``phase_split``) and the shared
+  build → run → measure → record pipeline behind the
+  :mod:`repro.registry.measures` plugin protocol;
 * :mod:`repro.engine.records` — typed result records and the JSONL
   results store the analysis layer formats.
 
@@ -31,6 +35,7 @@ from repro.engine.executor import (
     run_units,
 )
 from repro.engine.grid import SweepGrid
+from repro.engine.measures import default_execute, unit_rng_seed
 from repro.engine.records import ResultRecord, ResultStore
 from repro.engine.scenarios import SCENARIOS, get_scenario, scenario_names
 from repro.engine.spec import (
@@ -55,10 +60,12 @@ __all__ = [
     "SweepGrid",
     "cache_key",
     "canonical_json",
+    "default_execute",
     "derive_seed",
     "execute_unit",
     "get_scenario",
     "graph_families",
     "run_units",
     "scenario_names",
+    "unit_rng_seed",
 ]

@@ -14,18 +14,61 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
 from repro.engine.spec import JobSpec, canonical_json
 
-__all__ = ["CACHE_SCHEMA_VERSION", "DEFAULT_CACHE_DIR", "ResultCache", "cache_key"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "ResultCache",
+    "cache_key",
+    "human_bytes",
+]
 
 #: Bump when the record schema or unit semantics change incompatibly;
 #: old cache entries then simply stop matching.
-CACHE_SCHEMA_VERSION = 1
+#: v2: the registry redesign — identified-model algorithms are now
+#: message-traced under ``count_messages`` (previously ``None``), and
+#: randomised units bind a content-derived RNG.
+CACHE_SCHEMA_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def human_bytes(size: int) -> str:
+    """Render a byte count for humans (binary units, one decimal)."""
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time summary of one cache directory."""
+
+    root: str
+    entries: int
+    total_bytes: int
+
+    def format(self) -> str:
+        lines = [
+            f"cache directory: {self.root}",
+            f"entries:         {self.entries}",
+            f"total size:      {human_bytes(self.total_bytes)}",
+        ]
+        if self.entries:
+            mean = self.total_bytes / self.entries
+            lines.append(f"mean entry:      {human_bytes(round(mean))}")
+        return "\n".join(lines)
 
 
 def cache_key(spec: JobSpec) -> str:
@@ -89,6 +132,20 @@ class ResultCache:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
+
+    def stats(self) -> CacheStats:
+        """Entry count and on-disk footprint of this cache directory."""
+        entries = 0
+        total = 0
+        for key in self.keys():
+            try:
+                total += self.path_for(key).stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        return CacheStats(
+            root=str(self.root), entries=entries, total_bytes=total
+        )
 
     def clear(self) -> int:
         """Delete every cached record; returns how many were removed."""

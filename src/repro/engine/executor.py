@@ -8,34 +8,29 @@ cache and fanning the rest across ``multiprocessing`` workers.
 Determinism contract: a record depends only on its spec — never on the
 worker count, execution order, or wall clock — so ``--workers 4`` and
 ``--workers 1`` produce byte-identical results.  Workers receive plain
-spec dictionaries and resolve algorithm/graph names themselves, which
-keeps the fan-out free of code pickling (and safe under both ``fork``
-and ``spawn`` start methods).
+spec dictionaries and resolve algorithm/graph names through the
+registry themselves, which keeps the fan-out free of code pickling (and
+safe under both ``fork`` and ``spawn`` start methods).  For plugins
+registered outside the built-in catalogue, each payload carries the
+names of the registering modules so a ``spawn`` worker can re-import
+them — which is why plugins must register at module import time.
 """
 
 from __future__ import annotations
 
+import importlib
 import multiprocessing
 import sys
 import time
 from dataclasses import dataclass
-from fractions import Fraction
 from typing import Any, Callable, Iterable, TextIO
 
-from repro.analysis.messages import profile_messages
-from repro.analysis.reference import regular_odd_reference
-from repro.analysis.runner import resolve_algorithm
-from repro.eds.bounds import eds_lower_bound
-from repro.eds.exact import minimum_eds_size
-from repro.eds.properties import is_edge_dominating_set
 from repro.engine.cache import ResultCache, cache_key
 from repro.engine.records import ResultRecord, ResultStore
 from repro.engine.spec import JobSpec
-from repro.exceptions import AlgorithmContractError
-from repro.lowerbounds.adversary import run_adversary
-from repro.lowerbounds.instance import LowerBoundInstance
-from repro.portgraph.graph import PortNumberedGraph
-from repro.runtime.algorithm import AnonymousAlgorithm
+from repro.registry.algorithms import get_algorithm
+from repro.registry.families import get_family
+from repro.registry.measures import get_measure
 
 __all__ = [
     "ExecutionReport",
@@ -50,154 +45,52 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 
-def _anonymous_factory(
-    spec: JobSpec, graph: PortNumberedGraph
-) -> AnonymousAlgorithm | None:
-    """The raw anonymous-model factory for the unit's algorithm, if any.
-
-    Needed by the measurement paths that drive the simulator directly
-    (adversary confrontations, message tracing).  Resolved through the
-    one algorithm registry in :mod:`repro.analysis.runner`, so newly
-    registered anonymous algorithms are picked up automatically.
-    """
-    algorithm = resolve_algorithm(
-        spec.algorithm, **dict(spec.algorithm_params)
-    )
-    if algorithm.factory is None:
-        return None
-    return algorithm.factory(graph)
-
-
-def _measure_optimum(
-    spec: JobSpec, graph: PortNumberedGraph
-) -> tuple[int, bool]:
-    if spec.optimum == "none":
-        return 0, False
-    if spec.optimum == "exact":
-        return minimum_eds_size(graph), True
-    if spec.optimum == "lower_bound":
-        return eds_lower_bound(graph), False
-    # "auto": exact when affordable, else the poly-time lower bound
-    if graph.num_edges <= spec.exact_edge_limit:
-        return minimum_eds_size(graph), True
-    return eds_lower_bound(graph), False
-
-
-def _quality_record(spec: JobSpec, key: str) -> ResultRecord:
-    graph = spec.graph.build()
-    assert isinstance(graph, PortNumberedGraph)
-    algorithm = resolve_algorithm(spec.algorithm, **dict(spec.algorithm_params))
-    edge_set, rounds = algorithm.run(graph)
-    if not is_edge_dominating_set(graph, edge_set):
-        raise AlgorithmContractError(
-            f"{spec.algorithm} produced an infeasible output on "
-            f"{spec.display_label()}"
-        )
-    optimum, exact = _measure_optimum(spec, graph)
-    if optimum > 0:
-        ratio = Fraction(len(edge_set), optimum)
-    else:
-        ratio = Fraction(1) if spec.optimum != "none" else Fraction(0)
-
-    messages: int | None = None
-    if spec.count_messages:
-        if algorithm.factory is not None:
-            messages = profile_messages(
-                graph, algorithm.factory(graph)
-            ).total_messages
-        elif algorithm.model == "central":
-            messages = 0
-
-    return ResultRecord(
-        key=key,
-        algorithm=spec.algorithm,
-        graph_family=spec.graph.family,
-        graph_label=spec.display_label(),
-        num_nodes=graph.num_nodes,
-        num_edges=graph.num_edges,
-        max_degree=graph.max_degree,
-        solution_size=len(edge_set),
-        optimum=optimum,
-        optimum_exact=exact,
-        ratio_num=ratio.numerator,
-        ratio_den=ratio.denominator,
-        rounds=rounds,
-        messages=messages,
-    )
-
-
-def _adversary_record(spec: JobSpec, key: str) -> ResultRecord:
-    instance = spec.graph.build()
-    assert isinstance(instance, LowerBoundInstance)
-    factory = _anonymous_factory(spec, instance.graph)
-    if factory is None:
-        raise AlgorithmContractError(
-            f"adversary units need an anonymous algorithm, got "
-            f"{spec.algorithm!r}"
-        )
-    report = run_adversary(instance, factory)
-    return ResultRecord(
-        key=key,
-        algorithm=spec.algorithm,
-        graph_family=spec.graph.family,
-        graph_label=spec.display_label(),
-        num_nodes=instance.graph.num_nodes,
-        num_edges=instance.graph.num_edges,
-        max_degree=instance.graph.max_degree,
-        solution_size=report.solution_size,
-        optimum=instance.optimum_size,
-        optimum_exact=True,
-        ratio_num=report.ratio.numerator,
-        ratio_den=report.ratio.denominator,
-        rounds=report.rounds,
-        extra={
-            "forced_ratio_num": instance.forced_ratio.numerator,
-            "forced_ratio_den": instance.forced_ratio.denominator,
-            "tight": report.is_tight,
-            "feasible": report.feasible,
-            "fibres_uniform": report.fibres_uniform,
-        },
-    )
-
-
-def _phase_split_record(spec: JobSpec, key: str) -> ResultRecord:
-    graph = spec.graph.build()
-    assert isinstance(graph, PortNumberedGraph)
-    after_phase1, final = regular_odd_reference(graph)
-    if not is_edge_dominating_set(graph, after_phase1):
-        raise AlgorithmContractError(
-            "phase I of Theorem 4 must already be an EDS"
-        )
-    return ResultRecord(
-        key=key,
-        algorithm=spec.algorithm,
-        graph_family=spec.graph.family,
-        graph_label=spec.display_label(),
-        num_nodes=graph.num_nodes,
-        num_edges=graph.num_edges,
-        max_degree=graph.max_degree,
-        solution_size=len(after_phase1),
-        optimum=0,
-        optimum_exact=False,
-        ratio_num=0,
-        ratio_den=1,
-        rounds=0,
-        extra={"final_size": len(final)},
-    )
-
-
 def execute_unit(spec: JobSpec) -> ResultRecord:
-    """Execute one work unit (in-process; used directly by workers)."""
+    """Execute one work unit (in-process; used directly by workers).
+
+    Dispatches to the unit's registered measure
+    (:mod:`repro.registry.measures`); the content address doubles as the
+    source of the unit's RNG seed, so randomised algorithms are exactly
+    as reproducible as deterministic ones.
+    """
     key = cache_key(spec)
-    if spec.measure == "adversary":
-        return _adversary_record(spec, key)
-    if spec.measure == "phase_split":
-        return _phase_split_record(spec, key)
-    return _quality_record(spec, key)
+    return get_measure(spec.measure).execute(spec, key)
 
 
-def _worker(payload: tuple[int, dict[str, Any]]) -> tuple[int, dict[str, Any]]:
-    index, spec_dict = payload
+def _plugin_modules(units: Iterable[JobSpec]) -> tuple[str, ...]:
+    """Modules whose import (re-)registers the units' registry entries.
+
+    Under the ``spawn`` start method a worker process starts with a
+    fresh interpreter: the built-in catalogue reloads lazily, but
+    plugins registered by user code would be missing.  Shipping the
+    registering modules' names lets workers re-import them — which is
+    why plugins should register at module import time.  Built-ins and
+    ``__main__`` are excluded (the registry loader and multiprocessing
+    itself already handle those).
+    """
+    modules: set[str] = set()
+    for unit in units:
+        modules.add(get_algorithm(unit.algorithm).origin)
+        family = get_family(unit.graph.family)
+        modules.add(getattr(family.build, "__module__", "") or "")
+        modules.add(type(get_measure(unit.measure)).__module__)
+    return tuple(sorted(
+        m for m in modules
+        if m and m != "__main__" and not m.startswith("repro.")
+    ))
+
+
+def _worker(
+    payload: tuple[int, dict[str, Any], tuple[str, ...]]
+) -> tuple[int, dict[str, Any]]:
+    index, spec_dict, plugin_modules = payload
+    for module in plugin_modules:
+        try:
+            importlib.import_module(module)
+        except Exception:
+            # If the plugin truly cannot be re-created here, resolution
+            # below fails with the registry's name-listing error.
+            pass
     record = execute_unit(JobSpec.from_json_dict(spec_dict))
     return index, record.to_json_dict()
 
@@ -312,7 +205,8 @@ def run_units(
             progress(done, hits)
 
     if workers > 1 and len(missing) > 1:
-        payloads = [(i, units[i].to_json_dict()) for i in missing]
+        plugins = _plugin_modules(units[i] for i in missing)
+        payloads = [(i, units[i].to_json_dict(), plugins) for i in missing]
         with multiprocessing.Pool(min(workers, len(missing))) as pool:
             for index, record_dict in pool.imap_unordered(_worker, payloads):
                 _finish(index, ResultRecord.from_json_dict(record_dict))

@@ -32,6 +32,7 @@ class SweepGrid:
     sizes: tuple[int, ...] = (16,)
     seeds: int = 1
     base_seed: int = 0
+    measure: str = "quality"
     optimum: str = "auto"
     exact_edge_limit: int = 48
     count_messages: bool = False
@@ -93,7 +94,7 @@ class SweepGrid:
                     JobSpec(
                         algorithm=algorithm,
                         graph=graph,
-                        measure="quality",
+                        measure=self.measure,
                         optimum=self.optimum,
                         exact_edge_limit=self.exact_edge_limit,
                         count_messages=self.count_messages,

@@ -1,0 +1,287 @@
+"""Built-in measures and the shared unit-execution pipeline.
+
+:func:`default_execute` is the build → resolve → run → measure → record
+pipeline behind every measure that follows the plugin protocol
+(:meth:`~repro.registry.measures.Measure.measure` returning record-field
+overrides).  The four built-ins registered here are
+
+* ``quality`` — feasibility + approximation ratio against a chosen
+  optimum policy (the workhorse of the sweeps);
+* ``messages`` — message-complexity profiling via a traced run;
+* ``adversary`` — the Table 1 tightness confrontation on a lower-bound
+  construction (custom execution);
+* ``phase_split`` — the Theorem 4 phase-I/phase-II snapshot used by the
+  ablations (custom execution).
+
+The per-unit RNG for randomised algorithms is derived here from the
+unit's content hash (``derive_seed("rng", key)``): the same work unit
+always replays the same coins, so randomised results are cacheable and
+byte-identical across reruns, worker counts, and processes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any
+
+from repro.analysis.reference import regular_odd_reference
+from repro.eds.bounds import eds_lower_bound
+from repro.eds.exact import minimum_eds_size
+from repro.eds.properties import is_edge_dominating_set
+from repro.engine.records import ResultRecord
+from repro.engine.spec import JobSpec, derive_seed
+from repro.exceptions import AlgorithmContractError
+from repro.lowerbounds.adversary import run_adversary
+from repro.lowerbounds.instance import LowerBoundInstance
+from repro.portgraph.graph import PortNumberedGraph
+from repro.registry.algorithms import BoundAlgorithm, resolve
+from repro.registry.measures import AlgorithmRun, Measure, register_measure
+
+__all__ = [
+    "AdversaryMeasure",
+    "MessagesMeasure",
+    "PhaseSplitMeasure",
+    "QualityMeasure",
+    "default_execute",
+    "unit_rng_seed",
+]
+
+#: ResultRecord fields a measure may override directly; anything else a
+#: measure returns is stored in the record's ``extra`` mapping.
+_RECORD_FIELDS = frozenset(
+    ResultRecord.__dataclass_fields__
+) - {"key", "extra"}
+
+
+def unit_rng_seed(key: str) -> int:
+    """The per-unit RNG seed: a pure function of the content address."""
+    return derive_seed("rng", key)
+
+
+def resolve_unit_algorithm(spec: JobSpec, key: str) -> BoundAlgorithm:
+    """Resolve a unit's algorithm with its content-derived RNG bound."""
+    return resolve(
+        spec.algorithm, dict(spec.algorithm_params),
+        rng_seed=unit_rng_seed(key),
+    )
+
+
+def default_execute(measure: Measure, spec: JobSpec, key: str) -> ResultRecord:
+    """The shared pipeline: build, run, measure, assemble the record."""
+    graph = spec.graph.build()
+    if not isinstance(graph, PortNumberedGraph):
+        raise AlgorithmContractError(
+            f"measure {measure.name!r} needs a plain graph family, got "
+            f"{spec.graph.family!r}"
+        )
+    algorithm = resolve_unit_algorithm(spec, key)
+
+    trace = None
+    if measure.needs_trace(spec) and algorithm.traced is not None:
+        result = algorithm.traced(graph)
+        edge_set, rounds, trace = result.edge_set(), result.rounds, result.trace
+    else:
+        edge_set, rounds = algorithm.run(graph)
+
+    if measure.check_feasible and not is_edge_dominating_set(graph, edge_set):
+        raise AlgorithmContractError(
+            f"{spec.algorithm} produced an infeasible output on "
+            f"{spec.display_label()}"
+        )
+
+    run = AlgorithmRun(
+        spec=spec, algorithm=algorithm, edge_set=edge_set,
+        rounds=rounds, trace=trace,
+    )
+    overrides = dict(measure.measure(graph, run))
+    extra: dict[str, Any] = dict(overrides.pop("extra", {}))
+    fields: dict[str, Any] = {
+        "key": key,
+        "algorithm": spec.algorithm,
+        "graph_family": spec.graph.family,
+        "graph_label": spec.display_label(),
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "max_degree": graph.max_degree,
+        "solution_size": len(edge_set),
+        "optimum": 0,
+        "optimum_exact": False,
+        "ratio_num": 0,
+        "ratio_den": 1,
+        "rounds": rounds,
+        "messages": None,
+    }
+    for name, value in overrides.items():
+        if name in _RECORD_FIELDS:
+            fields[name] = value
+        else:
+            extra[name] = value
+    return ResultRecord(extra=extra, **fields)
+
+
+# ---------------------------------------------------------------------------
+# Built-in measures
+# ---------------------------------------------------------------------------
+
+
+@register_measure
+class QualityMeasure(Measure):
+    """Feasibility + approximation ratio against an optimum policy.
+
+    The unit's ``optimum`` field selects the baseline: ``"exact"``
+    (branch-and-bound), ``"lower_bound"`` (poly-time bound), ``"auto"``
+    (exact while affordable) or ``"none"`` (sizes and rounds only).
+    """
+
+    name = "quality"
+
+    def needs_trace(self, spec: JobSpec) -> bool:
+        return spec.count_messages
+
+    @staticmethod
+    def _optimum(spec: JobSpec, graph: PortNumberedGraph) -> tuple[int, bool]:
+        if spec.optimum == "none":
+            return 0, False
+        if spec.optimum == "exact":
+            return minimum_eds_size(graph), True
+        if spec.optimum == "lower_bound":
+            return eds_lower_bound(graph), False
+        # "auto": exact when affordable, else the poly-time lower bound
+        if graph.num_edges <= spec.exact_edge_limit:
+            return minimum_eds_size(graph), True
+        return eds_lower_bound(graph), False
+
+    def measure(
+        self, graph: PortNumberedGraph, run: AlgorithmRun
+    ) -> dict[str, Any]:
+        spec = run.spec
+        optimum, exact = self._optimum(spec, graph)
+        if optimum > 0:
+            ratio = Fraction(len(run.edge_set), optimum)
+        else:
+            ratio = Fraction(1) if spec.optimum != "none" else Fraction(0)
+        overrides: dict[str, Any] = {
+            "optimum": optimum,
+            "optimum_exact": exact,
+            "ratio_num": ratio.numerator,
+            "ratio_den": ratio.denominator,
+        }
+        if spec.count_messages:
+            if run.trace is not None:
+                overrides["messages"] = run.trace.total_messages
+            elif run.algorithm.model == "central":
+                overrides["messages"] = 0
+        return overrides
+
+
+@register_measure
+class MessagesMeasure(Measure):
+    """Message-complexity profiling: total traffic and the per-round peak.
+
+    Central algorithms send nothing by definition; every distributed
+    model is re-run with tracing enabled.
+    """
+
+    name = "messages"
+
+    def needs_trace(self, spec: JobSpec) -> bool:
+        return True
+
+    def measure(
+        self, graph: PortNumberedGraph, run: AlgorithmRun
+    ) -> dict[str, Any]:
+        if run.trace is not None:
+            per_round = tuple(r.message_count for r in run.trace.rounds)
+            total = run.trace.total_messages
+            peak = max(per_round, default=0)
+        elif run.algorithm.model == "central":
+            total, peak = 0, 0
+        else:
+            raise AlgorithmContractError(
+                f"algorithm {run.algorithm.name!r} cannot be message-traced"
+            )
+        return {"messages": total, "extra": {"max_round_messages": peak}}
+
+
+@register_measure
+class AdversaryMeasure(Measure):
+    """Table 1 tightness: the algorithm against its adversarial instance.
+
+    Custom execution: the unit's family builds a
+    :class:`LowerBoundInstance`, and the confrontation drives the
+    simulator through the algorithm's raw anonymous factory.
+    """
+
+    name = "adversary"
+    requires_lower_bound = True
+    grid_safe = False
+
+    def execute(self, spec: JobSpec, key: str) -> ResultRecord:
+        instance = spec.graph.build()
+        assert isinstance(instance, LowerBoundInstance)
+        algorithm = resolve_unit_algorithm(spec, key)
+        if algorithm.factory is None:
+            raise AlgorithmContractError(
+                f"adversary units need an anonymous algorithm, got "
+                f"{spec.algorithm!r}"
+            )
+        report = run_adversary(instance, algorithm.factory(instance.graph))
+        return ResultRecord(
+            key=key,
+            algorithm=spec.algorithm,
+            graph_family=spec.graph.family,
+            graph_label=spec.display_label(),
+            num_nodes=instance.graph.num_nodes,
+            num_edges=instance.graph.num_edges,
+            max_degree=instance.graph.max_degree,
+            solution_size=report.solution_size,
+            optimum=instance.optimum_size,
+            optimum_exact=True,
+            ratio_num=report.ratio.numerator,
+            ratio_den=report.ratio.denominator,
+            rounds=report.rounds,
+            extra={
+                "forced_ratio_num": instance.forced_ratio.numerator,
+                "forced_ratio_den": instance.forced_ratio.denominator,
+                "tight": report.is_tight,
+                "feasible": report.feasible,
+                "fibres_uniform": report.fibres_uniform,
+            },
+        )
+
+
+@register_measure
+class PhaseSplitMeasure(Measure):
+    """The Theorem 4 phase-I/phase-II snapshot (ablation E13).
+
+    Custom execution: runs the centralised reference implementation and
+    records the phase-I edge-cover size against the final pruned size.
+    """
+
+    name = "phase_split"
+    grid_safe = False
+
+    def execute(self, spec: JobSpec, key: str) -> ResultRecord:
+        graph = spec.graph.build()
+        assert isinstance(graph, PortNumberedGraph)
+        after_phase1, final = regular_odd_reference(graph)
+        if not is_edge_dominating_set(graph, after_phase1):
+            raise AlgorithmContractError(
+                "phase I of Theorem 4 must already be an EDS"
+            )
+        return ResultRecord(
+            key=key,
+            algorithm=spec.algorithm,
+            graph_family=spec.graph.family,
+            graph_label=spec.display_label(),
+            num_nodes=graph.num_nodes,
+            num_edges=graph.num_edges,
+            max_degree=graph.max_degree,
+            solution_size=len(after_phase1),
+            optimum=0,
+            optimum_exact=False,
+            ratio_num=0,
+            ratio_den=1,
+            rounds=0,
+            extra={"final_size": len(final)},
+        )

@@ -10,49 +10,35 @@ can be
   (:mod:`repro.engine.executor`), and
 * expanded from declarative grids (:mod:`repro.engine.grid`).
 
-The single point where names turn back into runnable code is
-:meth:`GraphSpec.build` (graph families) together with
-:func:`repro.analysis.runner.resolve_algorithm` (algorithms).
+Names turn back into runnable code through the :mod:`repro.registry`
+catalogue: graph families via :func:`repro.registry.get_family`,
+algorithms via :func:`repro.registry.resolve`, and measures via
+:func:`repro.registry.get_measure` — so anything registered there is
+immediately addressable from a work unit.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, replace
-from typing import Any, Callable, Mapping
+from typing import Any, Mapping
 
-from repro.generators.bounded import (
-    caterpillar,
-    grid,
-    path,
-    random_bounded_degree,
-    random_tree,
-    star,
-)
-from repro.generators.regular import (
-    complete,
-    cycle,
-    hypercube,
-    random_regular,
-    torus,
-)
-from repro.generators.special import crown, matching_union
-from repro.lowerbounds.even import build_even_lower_bound
 from repro.lowerbounds.instance import LowerBoundInstance
-from repro.lowerbounds.odd import build_odd_lower_bound
 from repro.portgraph.graph import PortNumberedGraph
+from repro.registry.base import UnknownNameError
+from repro.registry.families import family_names, get_family
+from repro.registry.measures import get_measure, measure_names
 
 __all__ = [
     "GraphSpec",
     "JobSpec",
+    "OPTIMUM_MODES",
     "canonical_json",
     "derive_seed",
     "graph_families",
 ]
-
-#: Measurement kinds understood by the executor.
-MEASURES = ("quality", "adversary", "phase_split")
 
 #: Optimum policies for the ``quality`` measure.
 OPTIMUM_MODES = ("auto", "exact", "lower_bound", "none")
@@ -75,43 +61,15 @@ def derive_seed(*parts: Any) -> int:
     return int.from_bytes(digest[:8], "big") >> 1
 
 
-# ---------------------------------------------------------------------------
-# Graph family registry
-# ---------------------------------------------------------------------------
-
-def _seeded(seed: int | None) -> int:
-    return 0 if seed is None else seed
-
-
-_FAMILIES: dict[str, Callable[[dict[str, int], int | None], object]] = {
-    "regular": lambda p, s: random_regular(p["d"], p["n"], seed=_seeded(s)),
-    "cycle": lambda p, s: cycle(p["n"], seed=s),
-    "complete": lambda p, s: complete(p["n"], seed=s),
-    "hypercube": lambda p, s: hypercube(p["dim"], seed=s),
-    "torus": lambda p, s: torus(p["rows"], p["cols"], seed=s),
-    "crown": lambda p, s: crown(p["k"], seed=s),
-    "matching_union": lambda p, s: matching_union(p["pairs"]),
-    "bounded": lambda p, s: random_bounded_degree(
-        p["n"], p["max_degree"], seed=_seeded(s)
-    ),
-    "path": lambda p, s: path(p["n"], seed=s),
-    "grid": lambda p, s: grid(p["rows"], p["cols"], seed=s),
-    "tree": lambda p, s: random_tree(p["n"], seed=_seeded(s)),
-    "star": lambda p, s: star(p["leaves"], seed=s),
-    "caterpillar": lambda p, s: caterpillar(
-        p["spine"], p["legs"], seed=s
-    ),
-    "lower_bound_even": lambda p, s: build_even_lower_bound(p["d"]),
-    "lower_bound_odd": lambda p, s: build_odd_lower_bound(p["d"]),
-}
-
-#: Families whose builder returns a :class:`LowerBoundInstance`.
-LOWER_BOUND_FAMILIES = frozenset({"lower_bound_even", "lower_bound_odd"})
-
-
 def graph_families() -> tuple[str, ...]:
-    """The graph family names work units can reference."""
-    return tuple(sorted(_FAMILIES))
+    """Deprecated alias for :func:`repro.registry.family_names`."""
+    warnings.warn(
+        "repro.engine.spec.graph_families() is deprecated; use "
+        "repro.registry.family_names()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return family_names()
 
 
 @dataclass(frozen=True)
@@ -126,21 +84,16 @@ class GraphSpec:
     def make(
         cls, family: str, *, seed: int | None = None, **params: int
     ) -> "GraphSpec":
-        if family not in _FAMILIES:
-            raise KeyError(
-                f"unknown graph family {family!r}; "
-                f"available: {graph_families()}"
-            )
+        get_family(family)  # raises UnknownNameError with the name list
         return cls(family, tuple(sorted(params.items())), seed)
 
     @property
     def is_lower_bound(self) -> bool:
-        return self.family in LOWER_BOUND_FAMILIES
+        return get_family(self.family).lower_bound
 
     def build(self) -> PortNumberedGraph | LowerBoundInstance:
         """Construct the graph (or lower-bound instance) this spec names."""
-        builder = _FAMILIES[self.family]
-        return builder(dict(self.params), self.seed)
+        return get_family(self.family).make(dict(self.params), self.seed)
 
     def label(self) -> str:
         parts = " ".join(f"{k}={v}" for k, v in self.params)
@@ -165,7 +118,8 @@ class GraphSpec:
 class JobSpec:
     """One independent, hashable unit of experimental work.
 
-    ``measure`` selects what the executor does:
+    ``measure`` names a registered :class:`~repro.registry.measures.
+    Measure` and selects what the executor does.  The built-ins:
 
     * ``"quality"`` — run the algorithm, check feasibility, and measure
       the solution against an optimum chosen by ``optimum``:
@@ -173,6 +127,7 @@ class JobSpec:
       ``"auto"`` (exact up to ``exact_edge_limit`` edges, else the bound)
       or ``"none"`` (sizes and rounds only — for round-complexity sweeps
       and very large grids);
+    * ``"messages"`` — run with tracing and record the message traffic;
     * ``"adversary"`` — the graph spec must name a lower-bound
       construction; runs the Table 1 tightness confrontation;
     * ``"phase_split"`` — the Theorem 4 phase-I/phase-II snapshot used by
@@ -189,19 +144,22 @@ class JobSpec:
     label: str = ""
 
     def __post_init__(self) -> None:
-        if self.measure not in MEASURES:
+        try:
+            measure = get_measure(self.measure)
+        except UnknownNameError:
             raise ValueError(
-                f"unknown measure {self.measure!r}; available: {MEASURES}"
-            )
+                f"unknown measure {self.measure!r}; "
+                f"available: {measure_names()}"
+            ) from None
         if self.optimum not in OPTIMUM_MODES:
             raise ValueError(
                 f"unknown optimum mode {self.optimum!r}; "
                 f"available: {OPTIMUM_MODES}"
             )
-        if self.measure == "adversary" and not self.graph.is_lower_bound:
+        if measure.requires_lower_bound and not self.graph.is_lower_bound:
             raise ValueError(
-                "adversary units need a lower-bound graph family, got "
-                f"{self.graph.family!r}"
+                f"{self.measure} units need a lower-bound graph family, "
+                f"got {self.graph.family!r}"
             )
 
     def with_label(self, label: str) -> "JobSpec":

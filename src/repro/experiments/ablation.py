@@ -25,7 +25,7 @@ from typing import Callable, Sequence
 
 from repro.analysis.report import format_table
 from repro.engine.cache import ResultCache
-from repro.engine.executor import run_units
+from repro.api import run_sweep
 from repro.engine.records import ResultRecord
 from repro.engine.spec import GraphSpec, JobSpec
 
@@ -157,7 +157,7 @@ def run_ablations(
             ),
         )
 
-    records = run_units(units, workers=workers, cache=cache).records
+    records = run_sweep(units, workers=workers, cache=cache).records
     rows: list[AblationRow] = []
     cursor = 0
     for arity, builder in plans:

@@ -346,7 +346,6 @@ def figure6() -> FigureArtifact:
     """Figure 6: the full Theorem 2 graph for d = 5."""
     art = FigureArtifact("figure-6", "Theorem 2 construction, d = 5")
     inst = build_odd_lower_bound(5)
-    k = 2
 
     art.check("graph is 5-regular", inst.graph.regularity() == 5)
     art.check(

@@ -1,18 +1,23 @@
-"""Experiment E17: message complexity of the three algorithms.
+"""Experiment E17: message complexity of the paper's algorithms.
 
 The paper's cost model counts rounds; practitioners also ask how many
 messages cross the network.  This experiment measures total traffic as
-a function of the degree parameter and the graph size, with the
-structural expectations pinned as checks:
+a function of the degree parameter and the graph size, with structural
+expectations pinned by the tests:
 
 * PortOne sends exactly one message per port: total = sum of degrees
   = 2|E|.
-* The Theorem 4/5 setup rounds broadcast on every port (2 · 2|E|
-  messages); subsequent pair steps touch only the matched ports, so the
-  per-round traffic drops sharply after round 1 — locality in the
-  traffic dimension.
+* The Theorem 4/5 setup rounds broadcast on every port; subsequent pair
+  steps touch only the matched ports, so the per-round traffic drops
+  sharply after round 1 — locality in the traffic dimension.
 * Total traffic grows linearly in n for fixed degree (each node's
   traffic depends only on its radius-O(Δ²) neighbourhood).
+
+Each (algorithm, d, n) cell is one engine work unit with the
+``messages`` measure, so the sweep shards across workers and is served
+incrementally from the content-addressed result cache — and any
+registered algorithm (randomised ones included) can be profiled by
+name.
 """
 
 from __future__ import annotations
@@ -20,14 +25,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.algorithms.bounded_degree import BoundedDegreeEDS
-from repro.algorithms.port_one import PortOneEDS
-from repro.algorithms.regular_odd import RegularOddEDS
-from repro.analysis.messages import profile_messages
+from repro.api import run_sweep
 from repro.analysis.report import format_table
-from repro.generators.regular import random_regular
+from repro.engine.cache import ResultCache
+from repro.engine.spec import GraphSpec, JobSpec
 
 __all__ = ["MessageRow", "message_complexity_sweep", "format_messages"]
+
+#: The default comparison set: the paper's three algorithms.
+DEFAULT_ALGORITHMS = ("port_one", "regular_odd", "bounded_degree")
 
 
 @dataclass(frozen=True)
@@ -48,40 +54,48 @@ def message_complexity_sweep(
     odd_degrees: Sequence[int] = (3, 5),
     sizes: Sequence[int] = (16, 32, 64),
     seed: int = 0,
+    *,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[MessageRow]:
-    """Measure traffic for all three algorithms across d and n."""
-    rows: list[MessageRow] = []
+    """Measure traffic for *algorithms* across d and n (engine-routed).
+
+    ``bounded_degree`` runs with the tight promise Δ = d, matching the
+    historical harness; every other algorithm takes no parameters.
+    """
+    units: list[JobSpec] = []
+    meta: list[tuple[str, int, int]] = []
     for d in odd_degrees:
         for n in sizes:
             if n <= d or (n * d) % 2:
                 continue
-            graph = random_regular(d, n, seed=seed)
-            sum_degrees = 2 * graph.num_edges
+            graph = GraphSpec.make("regular", seed=seed, d=d, n=n)
+            for name in algorithms:
+                params = (("delta", d),) if name == "bounded_degree" else ()
+                units.append(
+                    JobSpec(
+                        algorithm=name,
+                        graph=graph,
+                        algorithm_params=params,
+                        measure="messages",
+                        label=f"regular d={d} n={n}",
+                    )
+                )
+                meta.append((name, d, n))
 
-            profile = profile_messages(graph, PortOneEDS)
-            assert profile.total_messages == sum_degrees
-            rows.append(
-                MessageRow("port_one", d, n, profile.rounds,
-                           profile.total_messages,
-                           profile.max_round_messages)
-            )
-
-            profile = profile_messages(graph, RegularOddEDS)
-            assert profile.messages_per_round[0] == sum_degrees
-            assert profile.messages_per_round[1] == sum_degrees
-            rows.append(
-                MessageRow("regular_odd", d, n, profile.rounds,
-                           profile.total_messages,
-                           profile.max_round_messages)
-            )
-
-            profile = profile_messages(graph, BoundedDegreeEDS(d))
-            rows.append(
-                MessageRow("bounded_degree", d, n, profile.rounds,
-                           profile.total_messages,
-                           profile.max_round_messages)
-            )
-    return rows
+    report = run_sweep(units, workers=workers, cache=cache)
+    return [
+        MessageRow(
+            algorithm=name,
+            d=d,
+            n=n,
+            rounds=record.rounds,
+            total_messages=record.messages or 0,
+            max_round_messages=int(record.extra["max_round_messages"]),
+        )
+        for record, (name, d, n) in zip(report.records, meta)
+    ]
 
 
 def format_messages(rows: Sequence[MessageRow]) -> str:

@@ -25,7 +25,7 @@ from repro.algorithms.regular_odd import RegularOddEDS
 from repro.analysis.report import format_table
 from repro.analysis.runner import ExperimentRow
 from repro.engine.cache import ResultCache
-from repro.engine.executor import run_units
+from repro.api import run_sweep
 from repro.engine.spec import GraphSpec, JobSpec
 
 __all__ = [
@@ -92,7 +92,7 @@ def round_complexity_sweep(
                 )
                 meta.append((name, d, n, predicted))
 
-    report = run_units(units, workers=workers, cache=cache)
+    report = run_sweep(units, workers=workers, cache=cache)
     return [
         RoundComplexityRow(name, d, n, record.rounds, predicted)
         for record, (name, d, n, predicted) in zip(report.records, meta)
@@ -161,7 +161,7 @@ def average_case_sweep(
                 for name in ("bounded_degree", "ids_greedy", "central_greedy")
             )
 
-    report = run_units(units, workers=workers, cache=cache)
+    report = run_sweep(units, workers=workers, cache=cache)
     # Degenerate empty bounded draws carry no information; drop their
     # rows the way the sequential harness always has.
     return [

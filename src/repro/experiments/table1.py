@@ -22,7 +22,7 @@ from typing import Callable, Sequence
 from repro.analysis.report import format_fraction, format_table
 from repro.eds.bounds import bounded_degree_ratio, regular_ratio
 from repro.engine.cache import ResultCache
-from repro.engine.executor import run_units
+from repro.api import run_sweep
 from repro.engine.records import ResultRecord
 from repro.engine.spec import GraphSpec, JobSpec
 
@@ -156,7 +156,7 @@ def reproduce_table1(
 ) -> list[Table1Row]:
     """Run the full Table 1 reproduction and return all rows."""
     units, builders = _plan(even_degrees, odd_degrees, ks)
-    report = run_units(units, workers=workers, cache=cache)
+    report = run_sweep(units, workers=workers, cache=cache)
     return [
         builder(record)
         for builder, record in zip(builders, report.records)

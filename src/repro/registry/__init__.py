@@ -1,0 +1,90 @@
+"""repro.registry — the pluggable catalogue of algorithms, graph
+families, and measures.
+
+The paper's experiments are a cross-product of *algorithms* × *graph
+families* × *measures*; this package makes each axis a first-class,
+declaratively extensible registry:
+
+* :func:`register_algorithm` (plus the per-model conveniences
+  :func:`register_anonymous`, :func:`register_identified`,
+  :func:`register_randomized`, :func:`register_central`) — algorithms
+  declare their model, their accepted parameters, and (for randomised
+  algorithms) receive an engine-derived RNG seed per run;
+* :func:`register_graph_family` — ``(params, seed) → graph`` builders,
+  including the adversarial lower-bound constructions;
+* :func:`register_measure` — :class:`Measure` objects with a
+  ``measure(graph, run) → dict`` protocol.
+
+Registered names are what :class:`~repro.engine.spec.JobSpec` work units
+reference, so a plugin registered before a sweep is immediately
+reachable from the engine, the cache, and the CLI.  See the README's
+"Extending" section for a worked end-to-end example.
+"""
+
+from repro.registry.algorithms import (
+    ALGORITHMS,
+    MODELS,
+    AlgorithmEntry,
+    BoundAlgorithm,
+    algorithm_names,
+    get_algorithm,
+    register_algorithm,
+    register_anonymous,
+    register_central,
+    register_identified,
+    register_randomized,
+    resolve,
+)
+from repro.registry.base import (
+    DuplicateNameError,
+    Registry,
+    RegistryError,
+    UnknownNameError,
+    UnknownParameterError,
+)
+from repro.registry.families import (
+    FAMILIES,
+    GraphFamily,
+    family_names,
+    get_family,
+    register_graph_family,
+)
+from repro.registry.measures import (
+    MEASURES,
+    AlgorithmRun,
+    Measure,
+    get_measure,
+    measure_names,
+    register_measure,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmEntry",
+    "AlgorithmRun",
+    "BoundAlgorithm",
+    "DuplicateNameError",
+    "FAMILIES",
+    "GraphFamily",
+    "MEASURES",
+    "MODELS",
+    "Measure",
+    "Registry",
+    "RegistryError",
+    "UnknownNameError",
+    "UnknownParameterError",
+    "algorithm_names",
+    "family_names",
+    "get_algorithm",
+    "get_family",
+    "get_measure",
+    "measure_names",
+    "register_algorithm",
+    "register_anonymous",
+    "register_central",
+    "register_graph_family",
+    "register_identified",
+    "register_measure",
+    "register_randomized",
+    "resolve",
+]

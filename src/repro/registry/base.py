@@ -1,0 +1,160 @@
+"""The generic name → entry registry underlying all three plugin tables.
+
+A :class:`Registry` is a small, strict mapping: names register exactly
+once (duplicates are programming errors, not silent overrides), unknown
+names fail with a message that lists every available entry, and built-in
+entries load lazily on first lookup so importing :mod:`repro.registry`
+stays cheap and cycle-free.
+
+The three concrete registries — algorithms, graph families, measures —
+live in their sibling modules and share this machinery.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Generic, Iterator, TypeVar
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "DuplicateNameError",
+    "Registry",
+    "RegistryError",
+    "UnknownNameError",
+    "UnknownParameterError",
+]
+
+T = TypeVar("T")
+
+
+class RegistryError(ReproError):
+    """Base class for registry failures (bad name, bad parameters)."""
+
+
+class DuplicateNameError(RegistryError, ValueError):
+    """A name was registered twice without ``replace=True``."""
+
+
+class UnknownNameError(RegistryError, KeyError):
+    """A lookup named an entry that does not exist.
+
+    Subclasses :class:`KeyError` so pre-registry call sites that caught
+    ``KeyError`` keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.args[0] if self.args else ""
+
+
+class UnknownParameterError(RegistryError, KeyError):
+    """An entry was given parameters it does not declare (or is missing
+    required ones).
+
+    Subclasses :class:`KeyError` because the pre-registry resolvers
+    raised ``KeyError`` for bad parameters too.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.args[0] if self.args else ""
+
+
+class Registry(Generic[T]):
+    """A strict name → entry table with lazy built-in loading.
+
+    *loader*, when given, is invoked once before the first lookup (or
+    name listing); it imports the modules whose import side effects
+    register the built-in entries.
+    """
+
+    def __init__(self, kind: str, *, loader: Callable[[], None] | None = None):
+        self.kind = kind
+        self._entries: dict[str, T] = {}
+        self._loader = loader
+        self._loaded = loader is None
+        self._loading = False
+
+    def _ensure_loaded(self) -> None:
+        if self._loaded or self._loading:
+            return
+        self._loading = True
+        try:
+            assert self._loader is not None
+            self._loader()
+            self._loaded = True
+        finally:
+            self._loading = False
+
+    def register(self, name: str, entry: T, *, replace: bool = False) -> T:
+        """Register *entry* under *name*; duplicate names are rejected.
+
+        Built-ins load first (when not already loaded), so a collision
+        with a built-in name is detected here and now — not later from
+        inside an unrelated lookup.
+        """
+        self._ensure_loaded()
+        if not name:
+            raise RegistryError(f"{self.kind} names must be non-empty")
+        if not replace and name in self._entries:
+            raise DuplicateNameError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass replace=True to override it deliberately"
+            )
+        self._entries[name] = entry
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove *name* (for tests and temporary plugins)."""
+        self._ensure_loaded()
+        if name not in self._entries:
+            raise UnknownNameError(
+                f"cannot unregister unknown {self.kind} {name!r}"
+            )
+        del self._entries[name]
+
+    @contextmanager
+    def temporarily(self, name: str, entry: T) -> Iterator[T]:
+        """Context manager: register *entry*, then clean it up again."""
+        self.register(name, entry)
+        try:
+            yield entry
+        finally:
+            self._entries.pop(name, None)
+
+    def get(self, name: str) -> T:
+        self._ensure_loaded()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownNameError(
+                f"unknown {self.kind} {name!r}; "
+                f"available: {', '.join(self.names()) or '(none)'}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        self._ensure_loaded()
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_loaded()
+        return name in self._entries
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {list(self.names())})"
+
+
+def load_builtins() -> None:
+    """Import every module whose import side effects register built-ins.
+
+    Shared by all three registries: the built-in algorithms, graph
+    families, and measures form one coherent catalogue, so the first
+    lookup in any registry makes the whole catalogue available.
+    """
+    import repro.registry.builtins  # noqa: F401  (import is the effect)

@@ -1,0 +1,128 @@
+"""Built-in catalogue: importing this module registers every built-in.
+
+The built-in *algorithms* register themselves where their node programs
+are defined (the :mod:`repro.algorithms` modules) — importing the
+package triggers them all.  The centralised baseline and the *graph
+families* are registered here, binding the pure builder functions from
+:mod:`repro.generators` and :mod:`repro.lowerbounds`.  The built-in
+*measures* live with the execution pipeline in
+:mod:`repro.engine.measures`.
+
+This module is imported lazily by the registries' first lookup (see
+:func:`repro.registry.base.load_builtins`), never eagerly, so the
+catalogue costs nothing until a name is actually resolved.
+"""
+
+from __future__ import annotations
+
+import repro.algorithms  # noqa: F401  (import side effect: registrations)
+import repro.engine.measures  # noqa: F401  (import side effect: measures)
+from repro.eds.greedy import two_approx_eds
+from repro.generators.bounded import (
+    caterpillar,
+    grid,
+    path,
+    random_bounded_degree,
+    random_tree,
+    star,
+)
+from repro.generators.regular import (
+    complete,
+    cycle,
+    hypercube,
+    random_regular,
+    torus,
+)
+from repro.generators.special import crown, matching_union
+from repro.lowerbounds.even import build_even_lower_bound
+from repro.lowerbounds.odd import build_odd_lower_bound
+from repro.registry.algorithms import register_central
+from repro.registry.families import register_graph_family
+
+# ---------------------------------------------------------------------------
+# The centralised baseline (the node programs register themselves; a
+# sequential solver has no natural home in repro.algorithms)
+# ---------------------------------------------------------------------------
+
+register_central(
+    "central_greedy",
+    lambda graph: two_approx_eds(graph),
+    description="sequential greedy maximal matching (2-approximation)",
+)
+
+
+# ---------------------------------------------------------------------------
+# Graph families
+# ---------------------------------------------------------------------------
+
+
+def _seeded(seed: int | None) -> int:
+    return 0 if seed is None else seed
+
+
+register_graph_family(
+    "regular", params=("d", "n"),
+    description="random d-regular graph on n nodes",
+)(lambda p, s: random_regular(p["d"], p["n"], seed=_seeded(s)))
+
+register_graph_family(
+    "cycle", params=("n",), description="cycle on n nodes",
+)(lambda p, s: cycle(p["n"], seed=s))
+
+register_graph_family(
+    "complete", params=("n",), description="complete graph on n nodes",
+)(lambda p, s: complete(p["n"], seed=s))
+
+register_graph_family(
+    "hypercube", params=("dim",), description="dim-dimensional hypercube",
+)(lambda p, s: hypercube(p["dim"], seed=s))
+
+register_graph_family(
+    "torus", params=("rows", "cols"), description="rows x cols torus",
+)(lambda p, s: torus(p["rows"], p["cols"], seed=s))
+
+register_graph_family(
+    "crown", params=("k",), description="crown graph S_k",
+)(lambda p, s: crown(p["k"], seed=s))
+
+register_graph_family(
+    "matching_union", params=("pairs",),
+    description="disjoint union of single edges",
+)(lambda p, s: matching_union(p["pairs"]))
+
+register_graph_family(
+    "bounded", params=("n", "max_degree"),
+    description="random graph of bounded maximum degree",
+)(lambda p, s: random_bounded_degree(p["n"], p["max_degree"],
+                                     seed=_seeded(s)))
+
+register_graph_family(
+    "path", params=("n",), description="path on n nodes",
+)(lambda p, s: path(p["n"], seed=s))
+
+register_graph_family(
+    "grid", params=("rows", "cols"), description="rows x cols grid",
+)(lambda p, s: grid(p["rows"], p["cols"], seed=s))
+
+register_graph_family(
+    "tree", params=("n",), description="uniform random tree on n nodes",
+)(lambda p, s: random_tree(p["n"], seed=_seeded(s)))
+
+register_graph_family(
+    "star", params=("leaves",), description="star with the given leaves",
+)(lambda p, s: star(p["leaves"], seed=s))
+
+register_graph_family(
+    "caterpillar", params=("spine", "legs"),
+    description="caterpillar tree (spine nodes, legs per node)",
+)(lambda p, s: caterpillar(p["spine"], p["legs"], seed=s))
+
+register_graph_family(
+    "lower_bound_even", params=("d",), lower_bound=True,
+    description="Theorem 1 adversarial construction (even d)",
+)(lambda p, s: build_even_lower_bound(p["d"]))
+
+register_graph_family(
+    "lower_bound_odd", params=("d",), lower_bound=True,
+    description="Theorem 2 adversarial construction (odd d)",
+)(lambda p, s: build_odd_lower_bound(p["d"]))

@@ -1,0 +1,106 @@
+"""The graph-family registry: names → parameterised graph builders.
+
+A registered family turns ``(params, seed)`` into a graph — or, for the
+paper's adversarial constructions, a
+:class:`~repro.lowerbounds.instance.LowerBoundInstance`.  Families are
+what make :class:`~repro.engine.spec.GraphSpec` pure data: a work unit
+references a family *name*, and this registry is the single point where
+the name turns back into a builder.
+
+Built-ins (random regular, cycles, grids, the Theorem 1/2 lower-bound
+constructions, …) are registered in :mod:`repro.registry.builtins`;
+third-party families use the same decorator::
+
+    from repro.registry import register_graph_family
+
+    @register_graph_family("two_cliques", params=("k",))
+    def _build_two_cliques(params, seed):
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.registry.base import (
+    Registry,
+    UnknownParameterError,
+    load_builtins,
+)
+
+__all__ = [
+    "FAMILIES",
+    "GraphFamily",
+    "family_names",
+    "get_family",
+    "register_graph_family",
+]
+
+#: build(params, seed) -> PortNumberedGraph | LowerBoundInstance
+FamilyBuilder = Callable[[Mapping[str, int], "int | None"], Any]
+
+
+@dataclass(frozen=True)
+class GraphFamily:
+    """One registered graph family."""
+
+    name: str
+    build: FamilyBuilder
+    params: tuple[str, ...] = ()
+    lower_bound: bool = False
+    description: str = ""
+
+    def make(self, params: Mapping[str, int], seed: int | None) -> Any:
+        missing = sorted(set(self.params) - set(params))
+        unknown = sorted(set(params) - set(self.params))
+        if missing or unknown:
+            raise UnknownParameterError(
+                f"graph family {self.name!r} takes parameters "
+                f"{sorted(self.params)}"
+                + (f"; missing {missing}" if missing else "")
+                + (f"; unknown {unknown}" if unknown else "")
+            )
+        return self.build(dict(params), seed)
+
+
+FAMILIES: Registry[GraphFamily] = Registry(
+    "graph family", loader=load_builtins
+)
+
+
+def register_graph_family(
+    name: str,
+    *,
+    params: tuple[str, ...] = (),
+    lower_bound: bool = False,
+    description: str = "",
+    replace: bool = False,
+) -> Callable[[FamilyBuilder], FamilyBuilder]:
+    """Decorator registering ``build(params, seed)`` as family *name*.
+
+    ``lower_bound`` marks families whose builder returns a
+    :class:`~repro.lowerbounds.instance.LowerBoundInstance` (required by
+    the ``adversary`` measure).
+    """
+
+    def decorate(build: FamilyBuilder) -> FamilyBuilder:
+        FAMILIES.register(
+            name,
+            GraphFamily(
+                name=name, build=build, params=tuple(params),
+                lower_bound=lower_bound, description=description,
+            ),
+            replace=replace,
+        )
+        return build
+
+    return decorate
+
+
+def get_family(name: str) -> GraphFamily:
+    return FAMILIES.get(name)
+
+
+def family_names() -> tuple[str, ...]:
+    return FAMILIES.names()

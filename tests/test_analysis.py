@@ -218,5 +218,6 @@ class TestReport:
         )
         lines = table.splitlines()
         assert lines[0] == "t"
-        assert all(len(line) <= max(len(l) for l in lines) for line in lines)
+        widest = max(len(line) for line in lines)
+        assert all(len(line) <= widest for line in lines)
         assert "333" in table

@@ -129,3 +129,113 @@ class TestSweepCommand:
         )
         assert code == 0
         assert "round complexity" in capsys.readouterr().out
+
+    def test_sweep_randomized_with_messages_measure(self, capsys, tmp_path):
+        """The ISSUE acceptance command: randomised algorithm + messages
+        measure through the engine, reruns served from cache."""
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "sweep", "--degrees", "2,3", "--sizes", "12", "--seeds", "1",
+            "--algorithms", "randomized_matching", "--measure", "messages",
+            "--quiet", "--cache-dir", cache_dir,
+        ]
+        first = tmp_path / "first.jsonl"
+        second = tmp_path / "second.jsonl"
+        assert main([*argv, "--jsonl", str(first)]) == 0
+        out = capsys.readouterr().out
+        assert "randomized_matching" in out and "0 hit(s)" in out
+        assert main([*argv, "--jsonl", str(second)]) == 0
+        assert "100.0% hit rate" in capsys.readouterr().out
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestEngineFlagsOnExperimentCommands:
+    def test_table1_with_workers_and_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["table1", "--even", "2", "--odd", "1", "--ks", "1",
+                "--workers", "2", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        assert "TIGHT" in capsys.readouterr().out
+        # the confrontations are now cached work units
+        assert main(argv) == 0
+        assert "TIGHT" in capsys.readouterr().out
+
+    def test_table1_no_cache(self, capsys):
+        code = main(["table1", "--even", "2", "--odd", "1", "--ks", "1",
+                     "--no-cache"])
+        assert code == 0
+        assert "TIGHT" in capsys.readouterr().out
+
+    def test_ablation_with_engine_flags(self, capsys, tmp_path):
+        code = main(["ablation", "--workers", "2",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        assert "ablations" in capsys.readouterr().out
+
+    def test_verify_fast_with_engine_flags(self, capsys, tmp_path):
+        code = main(["verify", "--fast", "--workers", "2",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        assert "VERDICT: all reproduction checks passed" in (
+            capsys.readouterr().out
+        )
+
+
+class TestMessagesCommand:
+    def test_messages_sweep(self, capsys):
+        code = main(["messages", "--degrees", "3", "--sizes", "12",
+                     "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "message complexity" in out
+        assert "port_one" in out
+
+    def test_messages_custom_algorithms(self, capsys):
+        code = main([
+            "messages", "--degrees", "3", "--sizes", "12", "--no-cache",
+            "--algorithms", "port_one,randomized_matching",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "randomized_matching" in out
+
+    def test_messages_rejects_unknown_algorithm(self, capsys):
+        code = main(["messages", "--degrees", "3", "--sizes", "12",
+                     "--no-cache", "--algorithms", "bogus"])
+        assert code == 2
+
+    def test_messages_rejects_empty_grid(self, capsys):
+        code = main(["messages", "--degrees", "3", "--sizes", "3",
+                     "--no-cache"])
+        assert code == 2
+        assert "zero feasible" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    def test_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries:         0" in capsys.readouterr().out
+
+        main(["sweep", "--degrees", "2", "--sizes", "12", "--seeds", "1",
+              "--quiet", "--cache-dir", cache_dir])
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "total size:" in out
+        assert "entries:         0" not in out
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries:         0" in capsys.readouterr().out
+
+
+class TestDemoRegistryIntegration:
+    def test_demo_randomized_algorithm(self, capsys):
+        code = main(["demo", "--family", "cycle", "-n", "12",
+                     "--algorithm", "randomized_matching"])
+        assert code == 0
+        assert "randomized_matching" in capsys.readouterr().out

@@ -182,8 +182,8 @@ class TestHopcroftKarp:
         assert len(ours) == len(theirs) // 2
         # validity
         assert len(set(ours.values())) == len(ours)
-        for l, r in ours.items():
-            assert graph.has_edge(l, r)
+        for u, r in ours.items():
+            assert graph.has_edge(u, r)
 
 
 class TestConversion:

@@ -14,7 +14,9 @@ class TestMessageSweep:
         assert len(rows) == 6  # 3 algorithms x 2 sizes
         port_one = [r for r in rows if r.algorithm == "port_one"]
         for r in port_one:
-            # exactly one message per port
+            # exactly one message per port: total = sum of degrees = 2|E|
+            # (= d·n on a d-regular graph), all in the single round
+            assert r.total_messages == r.d * r.n
             assert r.total_messages == r.max_round_messages
             assert r.rounds == 1
 
