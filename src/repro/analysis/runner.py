@@ -6,18 +6,16 @@ callable running it on a port-numbered graph and returning the selected
 edge set plus the round count.
 
 Since the introduction of :mod:`repro.registry` this module no longer
-owns the algorithm table: :func:`standard_algorithms` and the deprecated
-:func:`resolve_algorithm` are thin adapters over the registry, kept so
-historical call sites (and one release's worth of external users)
-continue to work.
+owns the algorithm table: :func:`standard_algorithms` is a thin adapter
+over the registry (use :func:`repro.registry.resolve` to look up a
+single algorithm by name).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Any, Callable
+from typing import Callable
 
 from repro.analysis.ratio import RatioReport, measure_ratio
 from repro.portgraph.graph import PortNumberedGraph
@@ -29,7 +27,6 @@ from repro.runtime.algorithm import AnonymousAlgorithm
 __all__ = [
     "AlgorithmSpec",
     "ExperimentRow",
-    "resolve_algorithm",
     "run_on",
     "standard_algorithms",
 ]
@@ -101,21 +98,6 @@ def standard_algorithms() -> dict[str, AlgorithmSpec]:
         name: AlgorithmSpec.from_bound(_registry_resolve(name))
         for name in STANDARD_ALGORITHM_NAMES
     }
-
-
-def resolve_algorithm(name: str, **params: Any) -> AlgorithmSpec:
-    """Deprecated: resolve an algorithm name to a legacy spec.
-
-    Use :func:`repro.registry.resolve` instead — it understands all four
-    models (including randomised algorithms, which need an engine-derived
-    RNG seed this shim cannot provide).
-    """
-    warnings.warn(
-        "resolve_algorithm() is deprecated; use repro.registry.resolve()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return AlgorithmSpec.from_bound(_registry_resolve(name, params))
 
 
 def run_on(

@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 from typing import Any, Callable, Iterable, Mapping, TypeAlias
 
+from repro.engine.backends import ExecutionBackend
 from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache
 from repro.engine.executor import ExecutionReport, run_units
 from repro.engine.grid import SweepGrid
@@ -114,6 +115,7 @@ def run_sweep(
     cache_dir: str | os.PathLike[str] | None = None,
     progress: Callable[[int, int], None] | None = None,
     jsonl: str | os.PathLike[str] | None = None,
+    backend: "ExecutionBackend | str | None" = None,
     **overrides: Any,
 ) -> ExecutionReport:
     """Run a grid of work units through the parallel experiment engine.
@@ -122,7 +124,11 @@ def run_sweep(
     …), a :class:`SweepGrid`, or any iterable of :class:`JobSpec` units.
     Keyword *overrides* (``degrees=…``, ``algorithms=…``, ``measure=…``)
     apply to scenario/grid inputs before expansion.  *jsonl* additionally
-    writes the result records as canonical JSON lines.
+    writes the result records as canonical JSON lines.  *backend* picks
+    the execution strategy (``"auto"``, ``"inline"``, ``"thread"``,
+    ``"process"``, or an :class:`ExecutionBackend`); the default
+    ``"auto"`` stays serial for cheap units and fans out across
+    *workers* processes once per-unit cost justifies pool startup.
     """
     if isinstance(grid, str):
         grid = get_scenario(grid)
@@ -142,6 +148,7 @@ def run_sweep(
         workers=max(1, workers),
         cache=as_cache(cache, cache_dir=cache_dir),
         progress=progress,
+        backend=backend,
     )
     if jsonl is not None:
         report.store.to_jsonl(jsonl)

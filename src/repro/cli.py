@@ -6,16 +6,18 @@ Examples
 
     repro-eds table1 --workers 4
     repro-eds figure 4
-    repro-eds figure all
+    repro-eds figure all --workers 4
     repro-eds rounds --degrees 1,3,5,7 --sizes 16,32,64
     repro-eds average --instances 3
     repro-eds ablation --workers 2
     repro-eds sweep --scenario default --workers 4
     repro-eds sweep --scenario large-regular --workers 8 --jsonl out.jsonl
     repro-eds sweep --no-cache --degrees 3,5 --sizes 16 --seeds 2
+    repro-eds sweep --backend inline --degrees 2,3 --sizes 12 --seeds 1
     repro-eds sweep --algorithms randomized_matching --measure messages
     repro-eds messages --degrees 3,5 --sizes 16,32,64
     repro-eds cache stats
+    repro-eds cache gc --max-size 64MiB --max-age 7d
     repro-eds cache clear
     repro-eds demo --family regular -d 3 -n 16 --algorithm regular_odd
 """
@@ -30,16 +32,18 @@ from repro import api
 from repro.analysis.report import format_table
 from repro.analysis.runner import AlgorithmSpec, run_on
 from repro.engine import (
+    BACKEND_NAMES,
     DEFAULT_CACHE_DIR,
+    FIGURE_IDS,
     ProgressPrinter,
     ResultCache,
     derive_seed,
+    figure_units,
     get_scenario,
     scenario_names,
 )
-from repro.engine.cache import human_bytes
+from repro.engine.cache import human_bytes, parse_age, parse_size
 from repro.experiments.ablation import format_ablations, run_ablations
-from repro.experiments.figures import all_figures
 from repro.experiments.messages import (
     format_messages,
     message_complexity_sweep,
@@ -75,6 +79,13 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=1,
         help="shard work units across N processes (default: serial)",
+    )
+    parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="auto",
+        help="execution backend: 'inline' (zero-overhead serial), "
+        "'thread', 'process' (multiprocessing fan-out), or 'auto' "
+        "(probe per-unit cost, fan out only when pool startup pays off; "
+        "default)",
     )
     parser.add_argument(
         "--cache", action=argparse.BooleanOptionalAction, default=True,
@@ -113,8 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
     t1.add_argument("--ks", type=_int_list, default=(1, 2, 3, 4, 5))
     _add_engine_flags(t1)
 
-    fig = sub.add_parser("figure", help="reproduce a figure (E5-E11)")
-    fig.add_argument("figure_id", choices=[*all_figures().keys(), "all"])
+    fig = sub.add_parser(
+        "figure",
+        help="reproduce a figure (E5-E11) through the engine "
+        "(parallel across figures, cached like any sweep)",
+    )
+    fig.add_argument("figure_id", choices=[*FIGURE_IDS, "all"])
+    _add_engine_flags(fig)
 
     rounds = sub.add_parser("rounds", help="round-complexity sweep (E4)")
     rounds.add_argument("--degrees", type=_int_list, default=(1, 3, 5, 7))
@@ -188,10 +204,20 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser(
         "cache", help="maintain the content-addressed result cache"
     )
-    cache.add_argument("action", choices=["stats", "clear"])
+    cache.add_argument("action", choices=["stats", "clear", "gc"])
     cache.add_argument(
         "--cache-dir", default=DEFAULT_CACHE_DIR,
         help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    cache.add_argument(
+        "--max-size", default=None, metavar="SIZE",
+        help="gc: evict least recently written records until the cache "
+        "fits SIZE (e.g. 64MiB, 1.5G, or plain bytes)",
+    )
+    cache.add_argument(
+        "--max-age", default=None, metavar="AGE",
+        help="gc: evict records older than AGE (e.g. 90s, 12h, 7d, or "
+        "plain seconds)",
     )
 
     verify = sub.add_parser(
@@ -275,21 +301,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         rows = reproduce_table1(
             args.even, args.odd, args.ks,
             workers=max(1, args.workers), cache=_engine_cache(args),
+            backend=args.backend,
         )
         print(format_table1(rows))
         if not all(r.tight for r in rows):
             print("ERROR: some rows are not tight", file=sys.stderr)
             return 1
     elif args.command == "figure":
-        builders = all_figures()
-        ids = list(builders) if args.figure_id == "all" else [args.figure_id]
-        for fid in ids:
-            artifact = builders[fid]()
-            print(artifact.rendering)
-            print(f"[{artifact.figure_id}] verified claims:")
-            for claim in artifact.checks:
-                print(f"  ✓ {claim}")
-            print()
+        return _run_figures(args)
     elif args.command == "rounds":
         rows = round_complexity_sweep(
             args.degrees, args.sizes, workers=args.workers
@@ -306,6 +325,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.command == "ablation":
         print(format_ablations(run_ablations(
             workers=max(1, args.workers), cache=_engine_cache(args),
+            backend=args.backend,
         )))
     elif args.command == "messages":
         return _run_messages(args)
@@ -318,11 +338,30 @@ def main(argv: Sequence[str] | None = None) -> int:
             fast=args.fast,
             workers=max(1, args.workers),
             cache=_engine_cache(args),
+            backend=args.backend,
         )
     elif args.command == "render":
         print(_run_render(args))
     elif args.command == "demo":
         print(_run_demo(args))
+    return 0
+
+
+def _run_figures(args: argparse.Namespace) -> int:
+    """Reproduce figures as engine work units (E5-E11)."""
+    ids = None if args.figure_id == "all" else [args.figure_id]
+    report = api.run_sweep(
+        figure_units(ids),
+        workers=max(1, args.workers),
+        cache=_engine_cache(args),
+        backend=args.backend,
+    )
+    for record in report.records:
+        print(record.extra["rendering"])
+        print(f"[{record.extra['figure_id']}] verified claims:")
+        for claim in record.extra["checks"]:
+            print(f"  ✓ {claim}")
+        print()
     return 0
 
 
@@ -341,6 +380,7 @@ def _run_messages(args: argparse.Namespace) -> int:
         algorithms=algorithms,
         workers=max(1, args.workers),
         cache=_engine_cache(args),
+        backend=args.backend,
     )
     if not rows:
         print("ERROR: the grid expanded to zero feasible work units",
@@ -388,11 +428,13 @@ def _run_sweep(args: argparse.Namespace) -> int:
         else ProgressPrinter(len(units), label=f"sweep:{scenario.name}")
     )
     report = api.run_sweep(
-        units, workers=max(1, args.workers), cache=cache, progress=progress
+        units, workers=max(1, args.workers), cache=cache, progress=progress,
+        backend=args.backend,
     )
     print(report.store.format_summary(
         title=f"sweep '{scenario.name}' — {len(units)} work units"
     ))
+    print(report.backend_line())
     if cache is not None:
         print(f"{report.cache_line()} [dir: {args.cache_dir}]")
     else:
@@ -404,10 +446,28 @@ def _run_sweep(args: argparse.Namespace) -> int:
 
 
 def _run_cache(args: argparse.Namespace) -> int:
-    """Cache maintenance: human-readable stats, or clear everything."""
+    """Cache maintenance: stats, clear everything, or policy eviction."""
     cache = ResultCache(args.cache_dir)
     if args.action == "stats":
         print(cache.stats().format())
+        return 0
+    if args.action == "gc":
+        if args.max_size is None and args.max_age is None:
+            print("ERROR: cache gc needs --max-size and/or --max-age",
+                  file=sys.stderr)
+            return 2
+        try:
+            max_bytes = (
+                None if args.max_size is None else parse_size(args.max_size)
+            )
+            max_age = (
+                None if args.max_age is None else parse_age(args.max_age)
+            )
+        except ValueError as exc:
+            print(f"ERROR: {exc}", file=sys.stderr)
+            return 2
+        report = cache.gc(max_bytes=max_bytes, max_age=max_age)
+        print(f"{report.format()} [dir: {args.cache_dir}]")
         return 0
     stats = cache.stats()
     removed = cache.clear()
@@ -419,7 +479,11 @@ def _run_cache(args: argparse.Namespace) -> int:
 
 
 def _run_verify(
-    *, fast: bool, workers: int = 1, cache: ResultCache | None = None
+    *,
+    fast: bool,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    backend: str = "auto",
 ) -> int:
     """Run every headline check; return 0 only if all pass."""
     failures: list[str] = []
@@ -427,25 +491,30 @@ def _run_verify(
     even = (2, 4) if fast else (2, 4, 6, 8, 10, 12)
     odd = (1, 3) if fast else (1, 3, 5, 7, 9)
     ks = (1, 2) if fast else (1, 2, 3, 4, 5)
-    rows = reproduce_table1(even, odd, ks, workers=workers, cache=cache)
+    rows = reproduce_table1(even, odd, ks, workers=workers, cache=cache,
+                            backend=backend)
     tight = sum(1 for r in rows if r.tight)
     print(f"[table1] {tight}/{len(rows)} rows tight")
     if tight != len(rows):
         failures.append("table1")
 
-    for fid, builder in sorted(all_figures().items()):
-        try:
-            artifact = builder()
-            print(f"[figure {fid}] {len(artifact.checks)} claims verified")
-        except Exception as exc:  # pragma: no cover - defensive
-            print(f"[figure {fid}] FAILED: {exc}")
-            failures.append(f"figure {fid}")
+    try:
+        figure_report = api.run_sweep(
+            figure_units(), workers=workers, cache=cache, backend=backend
+        )
+        for record in figure_report.records:
+            print(f"[figure {record.extra['figure']}] "
+                  f"{len(record.extra['checks'])} claims verified")
+    except Exception as exc:  # pragma: no cover - defensive
+        print(f"[figures] FAILED: {exc}")
+        failures.append("figures")
 
     sweep = round_complexity_sweep(
         odd_degrees=(1, 3) if fast else (1, 3, 5, 7),
         sizes=(12,) if fast else (16, 32, 64),
         workers=workers,
         cache=cache,
+        backend=backend,
     )
     ok = sum(1 for r in sweep if r.matches_prediction)
     print(f"[rounds] {ok}/{len(sweep)} round counts match closed forms")

@@ -7,26 +7,45 @@ The engine turns the reproduction's experiments into data-driven grids:
 * :mod:`repro.engine.grid` — :class:`SweepGrid` expansion of
   algorithm × family × size × seed grids;
 * :mod:`repro.engine.cache` — the content-addressed on-disk cache under
-  ``.repro-cache/`` keyed by the SHA-256 of each unit's canonical JSON;
-* :mod:`repro.engine.executor` — serial or ``multiprocessing``-sharded
-  execution with write-through caching and progress/ETA reporting;
+  ``.repro-cache/`` keyed by the SHA-256 of each unit's canonical JSON,
+  with size/age eviction (:meth:`ResultCache.gc`);
+* :mod:`repro.engine.backends` — pluggable execution backends
+  (``inline``, ``thread``, ``process``, and the self-calibrating
+  ``auto`` that probes per-unit cost before paying pool startup);
+* :mod:`repro.engine.executor` — grid execution over a backend with
+  write-through caching and progress/ETA reporting;
 * :mod:`repro.engine.measures` — the built-in measures (``quality``,
   ``messages``, ``adversary``, ``phase_split``) and the shared
   build → run → measure → record pipeline behind the
   :mod:`repro.registry.measures` plugin protocol;
+* :mod:`repro.engine.figures` — the paper's figure reproductions
+  (E5–E11) as engine units: the ``figure`` graph family plus one
+  ``figure:N`` measure per figure;
 * :mod:`repro.engine.records` — typed result records and the JSONL
   results store the analysis layer formats.
 
-Every experiment driver (Table 1, sweeps, ablations) routes its
-execution through :func:`run_units`, so any repeated cell anywhere in
-the harness is computed exactly once per cache directory.
+Every experiment driver (Table 1, figures, sweeps, ablations) routes
+its execution through :func:`run_units`, so any repeated cell anywhere
+in the harness is computed exactly once per cache directory.
 """
 
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    AutoBackend,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from repro.engine.cache import (
     CACHE_SCHEMA_VERSION,
     DEFAULT_CACHE_DIR,
+    GcReport,
     ResultCache,
     cache_key,
+    parse_age,
+    parse_size,
 )
 from repro.engine.executor import (
     ExecutionReport,
@@ -34,6 +53,7 @@ from repro.engine.executor import (
     execute_unit,
     run_units,
 )
+from repro.engine.figures import FIGURE_IDS, figure_unit, figure_units
 from repro.engine.grid import SweepGrid
 from repro.engine.measures import default_execute, unit_rng_seed
 from repro.engine.records import ResultRecord, ResultStore
@@ -43,28 +63,39 @@ from repro.engine.spec import (
     JobSpec,
     canonical_json,
     derive_seed,
-    graph_families,
 )
 
 __all__ = [
+    "AutoBackend",
+    "BACKEND_NAMES",
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_CACHE_DIR",
+    "ExecutionBackend",
     "ExecutionReport",
+    "FIGURE_IDS",
+    "GcReport",
     "GraphSpec",
+    "InlineBackend",
     "JobSpec",
+    "ProcessBackend",
     "ProgressPrinter",
     "ResultCache",
     "ResultRecord",
     "ResultStore",
     "SCENARIOS",
     "SweepGrid",
+    "ThreadBackend",
     "cache_key",
     "canonical_json",
     "default_execute",
     "derive_seed",
     "execute_unit",
+    "figure_unit",
+    "figure_units",
     "get_scenario",
-    "graph_families",
+    "parse_age",
+    "parse_size",
+    "resolve_backend",
     "run_units",
     "scenario_names",
     "unit_rng_seed",

@@ -1,0 +1,143 @@
+"""The self-calibrating backend: inline until fan-out pays for itself.
+
+Process-pool startup is a fixed tax (interpreter spawn plus catalogue
+reload per worker); for grids of sub-10 ms units it dominates the whole
+run, while for expensive units it vanishes.  ``AutoBackend`` measures
+instead of guessing: it executes the first few pending units inline
+with a wall clock around each, and fans the remainder out to the
+process backend only when the observed per-unit cost clears the
+threshold (and there is enough work left to amortise the pool).
+
+Grids are not homogeneous — a sweep ordered cheapest-first (small n
+before large) would fool a probe-once policy into serial execution just
+as the expensive tail arrives.  So the inline decision is provisional:
+every unit stays on the clock, and the first unit that itself clears
+the threshold re-escalates the rest of the batch to the fan-out
+backend.
+
+The calibration affects scheduling only — records depend purely on
+their specs — so every decision path yields byte-identical results.
+The decision itself is recorded on the backend (and surfaced through
+:class:`~repro.engine.executor.ExecutionReport`) so sweeps can report
+why they ran the way they did.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+from repro.engine.backends.base import ExecutionBackend
+from repro.engine.backends.process import ProcessBackend
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.engine.records import ResultRecord
+    from repro.engine.spec import JobSpec
+
+__all__ = ["AutoBackend", "DEFAULT_FANOUT_THRESHOLD", "PROBE_UNITS"]
+
+#: Fan out only above this measured per-unit cost (seconds).  Pool
+#: startup dominates below ~10 ms/unit (ROADMAP measurement).
+DEFAULT_FANOUT_THRESHOLD = 0.010
+
+#: How many units the calibration probe times inline.
+PROBE_UNITS = 3
+
+
+class AutoBackend(ExecutionBackend):
+    """Calibrate on the first few units; fan out when (or once) slow.
+
+    *clock* and *fanout* exist for tests: a fake clock makes units look
+    arbitrarily slow without sleeping, and an injected fan-out backend
+    observes the hand-off without spawning processes.
+    """
+
+    name = "auto"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        threshold: float = DEFAULT_FANOUT_THRESHOLD,
+        probe: int = PROBE_UNITS,
+        clock: Callable[[], float] = time.perf_counter,
+        fanout: ExecutionBackend | None = None,
+    ):
+        self.workers = max(1, workers)
+        self.threshold = threshold
+        self.probe = max(1, probe)
+        self.clock = clock
+        self.fanout = (
+            fanout if fanout is not None else ProcessBackend(self.workers)
+        )
+        self.decision = ""
+        self._resolved = "inline"
+
+    def describe(self) -> str:
+        return f"auto:{self._resolved}"
+
+    def _commit(self, resolved: str, decision: str) -> None:
+        self._resolved = resolved
+        self.decision = decision
+
+    def run(
+        self, pending: Sequence[tuple[int, "JobSpec"]]
+    ) -> Iterator[tuple[int, "ResultRecord"]]:
+        from repro.engine.executor import execute_unit
+
+        pending = list(pending)
+        if self.workers <= 1 or len(pending) <= self.probe + 1:
+            self._commit(
+                "inline",
+                "no fan-out possible "
+                f"(workers={self.workers}, pending={len(pending)})"
+                if self.workers <= 1
+                else f"{len(pending)} pending unit(s) — too few to "
+                "amortise a pool",
+            )
+            for index, spec in pending:
+                yield index, execute_unit(spec)
+            return
+
+        elapsed = 0.0
+        for index, spec in pending[: self.probe]:
+            started = self.clock()
+            record = execute_unit(spec)
+            elapsed += self.clock() - started
+            yield index, record
+        per_unit = elapsed / self.probe
+        remainder = pending[self.probe:]
+
+        if per_unit >= self.threshold:
+            self._commit(
+                self.fanout.describe(),
+                f"probed {self.probe} unit(s): {per_unit * 1000:.1f} ms/unit"
+                f" ≥ {self.threshold * 1000:.1f} ms threshold → "
+                f"{self.fanout.describe()} for {len(remainder)} unit(s)",
+            )
+            yield from self.fanout.run(remainder)
+            return
+
+        self._commit(
+            "inline",
+            f"probed {self.probe} unit(s): {per_unit * 1000:.1f} ms/unit"
+            f" < {self.threshold * 1000:.1f} ms threshold → staying "
+            "inline",
+        )
+        # Provisional: grids ordered cheapest-first would otherwise fool
+        # the probe, so the first genuinely slow unit re-escalates.
+        for position, (index, spec) in enumerate(remainder):
+            started = self.clock()
+            record = execute_unit(spec)
+            cost = self.clock() - started
+            yield index, record
+            rest = remainder[position + 1:]
+            if cost >= self.threshold and len(rest) > 1:
+                self._commit(
+                    self.fanout.describe(),
+                    f"{self.decision}; re-escalated after a "
+                    f"{cost * 1000:.1f} ms unit → "
+                    f"{self.fanout.describe()} for {len(rest)} unit(s)",
+                )
+                yield from self.fanout.run(rest)
+                return

@@ -1,0 +1,108 @@
+"""The ``multiprocessing`` fan-out backend.
+
+This is the engine's original sharded executor path, extracted: workers
+receive plain spec dictionaries and resolve algorithm/graph/measure
+names through the registry themselves, which keeps the fan-out free of
+code pickling (and safe under both ``fork`` and ``spawn`` start
+methods).  For plugins registered outside the built-in catalogue, each
+payload carries the names of the registering modules so a ``spawn``
+worker can re-import them — which is why plugins must register at
+module import time.
+
+Pool startup costs real time (interpreter spawn + catalogue reload per
+worker), so this backend pays off only when per-unit cost is well above
+~10 ms; below that, prefer :class:`~repro.engine.backends.inline.
+InlineBackend` or let ``"auto"`` calibrate.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
+
+from repro.engine.backends.base import ExecutionBackend
+from repro.registry.algorithms import get_algorithm
+from repro.registry.families import get_family
+from repro.registry.measures import get_measure
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.engine.records import ResultRecord
+    from repro.engine.spec import JobSpec
+
+__all__ = ["ProcessBackend"]
+
+
+def _plugin_modules(units: Iterable["JobSpec"]) -> tuple[str, ...]:
+    """Modules whose import (re-)registers the units' registry entries.
+
+    Under the ``spawn`` start method a worker process starts with a
+    fresh interpreter: the built-in catalogue reloads lazily, but
+    plugins registered by user code would be missing.  Shipping the
+    registering modules' names lets workers re-import them.  Built-ins
+    and ``__main__`` are excluded (the registry loader and
+    multiprocessing itself already handle those), as are the algorithms
+    of units whose measure never resolves one (figure units).
+    """
+    modules: set[str] = set()
+    for unit in units:
+        measure = get_measure(unit.measure)
+        if measure.uses_algorithm:
+            modules.add(get_algorithm(unit.algorithm).origin)
+        family = get_family(unit.graph.family)
+        modules.add(getattr(family.build, "__module__", "") or "")
+        modules.add(type(measure).__module__)
+    return tuple(sorted(
+        m for m in modules
+        if m and m != "__main__" and not m.startswith("repro.")
+    ))
+
+
+def _worker(
+    payload: tuple[int, dict[str, Any], tuple[str, ...]]
+) -> tuple[int, dict[str, Any]]:
+    from repro.engine.executor import execute_unit
+    from repro.engine.spec import JobSpec
+
+    index, spec_dict, plugin_modules = payload
+    for module in plugin_modules:
+        try:
+            importlib.import_module(module)
+        except Exception:
+            # If the plugin truly cannot be re-created here, resolution
+            # below fails with the registry's name-listing error.
+            pass
+    record = execute_unit(JobSpec.from_json_dict(spec_dict))
+    return index, record.to_json_dict()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Shard units across a ``multiprocessing.Pool``."""
+
+    name = "process"
+
+    def __init__(self, workers: int = 1):
+        self.workers = max(1, workers)
+
+    def describe(self) -> str:
+        return f"process(workers={self.workers})"
+
+    def run(
+        self, pending: Sequence[tuple[int, "JobSpec"]]
+    ) -> Iterator[tuple[int, "ResultRecord"]]:
+        from repro.engine.executor import execute_unit
+        from repro.engine.records import ResultRecord
+
+        pending = list(pending)
+        if self.workers == 1 or len(pending) <= 1:
+            # A pool of one (or for one unit) is pure overhead.
+            for index, spec in pending:
+                yield index, execute_unit(spec)
+            return
+        plugins = _plugin_modules(spec for _, spec in pending)
+        payloads = [
+            (index, spec.to_json_dict(), plugins) for index, spec in pending
+        ]
+        with multiprocessing.Pool(min(self.workers, len(pending))) as pool:
+            for index, record_dict in pool.imap_unordered(_worker, payloads):
+                yield index, ResultRecord.from_json_dict(record_dict)

@@ -1,0 +1,56 @@
+"""The thread-pool backend.
+
+Shares the interpreter with the caller, so pure-Python CPU-bound units
+gain nothing under the GIL — but measure-bound units that release the
+GIL (C-extension graph kernels, I/O-ish measures, subprocess-backed
+solvers) overlap without any of the process backend's costs: no
+interpreter spawn, no catalogue reload, no spec serialisation, and
+plugins registered in this process are simply visible.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.engine.backends.base import ExecutionBackend
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.engine.records import ResultRecord
+    from repro.engine.spec import JobSpec
+
+__all__ = ["ThreadBackend"]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Fan units across an in-process thread pool."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 1):
+        self.workers = max(1, workers)
+
+    def describe(self) -> str:
+        return f"thread(workers={self.workers})"
+
+    def run(
+        self, pending: Sequence[tuple[int, "JobSpec"]]
+    ) -> Iterator[tuple[int, "ResultRecord"]]:
+        from repro.engine.executor import execute_unit
+
+        pending = list(pending)
+        if not pending:
+            return
+        with ThreadPoolExecutor(
+            max_workers=min(self.workers, len(pending))
+        ) as pool:
+            futures = {
+                pool.submit(execute_unit, spec): index
+                for index, spec in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    yield futures[future], future.result()

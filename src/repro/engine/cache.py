@@ -14,6 +14,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
@@ -24,9 +25,12 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
     "DEFAULT_CACHE_DIR",
+    "GcReport",
     "ResultCache",
     "cache_key",
     "human_bytes",
+    "parse_age",
+    "parse_size",
 ]
 
 #: Bump when the record schema or unit semantics change incompatibly;
@@ -51,6 +55,54 @@ def human_bytes(size: int) -> str:
     raise AssertionError("unreachable")
 
 
+#: Size suffixes accepted by :func:`parse_size` (binary multiples).
+_SIZE_UNITS = {
+    "B": 1,
+    "K": 1024, "KB": 1024, "KIB": 1024,
+    "M": 1024 ** 2, "MB": 1024 ** 2, "MIB": 1024 ** 2,
+    "G": 1024 ** 3, "GB": 1024 ** 3, "GIB": 1024 ** 3,
+    "T": 1024 ** 4, "TB": 1024 ** 4, "TIB": 1024 ** 4,
+}
+
+#: Age suffixes accepted by :func:`parse_age`, in seconds.
+_AGE_UNITS = {
+    "S": 1, "M": 60, "H": 3600, "D": 86400, "W": 7 * 86400,
+}
+
+
+def _parse_suffixed(text: str, units: "dict[str, int]", kind: str) -> float:
+    raw = text.strip().upper()
+    suffix_len = 0
+    while suffix_len < len(raw) and raw[-suffix_len - 1].isalpha():
+        suffix_len += 1
+    number, suffix = raw[: len(raw) - suffix_len], raw[len(raw) - suffix_len:]
+    try:
+        value = float(number)
+        scale = units[suffix] if suffix else 1
+    except (ValueError, KeyError):
+        raise ValueError(
+            f"cannot parse {kind} {text!r}; expected a number with an "
+            f"optional suffix from {sorted(units)}"
+        ) from None
+    if not (0 <= value < float("inf")):  # rejects negatives, inf, nan
+        raise ValueError(
+            f"{kind} must be a finite non-negative number, got {text!r}"
+        )
+    return value * scale
+
+
+def parse_size(text: str) -> int:
+    """Parse a human size like ``"64MiB"``, ``"1.5G"`` or ``"2048"``
+    (plain bytes) into a byte count.  Suffixes are binary multiples."""
+    return int(_parse_suffixed(text, _SIZE_UNITS, "size"))
+
+
+def parse_age(text: str) -> float:
+    """Parse a human age like ``"90s"``, ``"12h"``, ``"7d"`` or ``"300"``
+    (plain seconds) into seconds."""
+    return _parse_suffixed(text, _AGE_UNITS, "age")
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """A point-in-time summary of one cache directory."""
@@ -69,6 +121,23 @@ class CacheStats:
             mean = self.total_bytes / self.entries
             lines.append(f"mean entry:      {human_bytes(round(mean))}")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What one :meth:`ResultCache.gc` pass removed and what survived."""
+
+    removed: int
+    freed_bytes: int
+    kept: int
+    kept_bytes: int
+
+    def format(self) -> str:
+        return (
+            f"evicted {self.removed} record(s) "
+            f"({human_bytes(self.freed_bytes)}); "
+            f"kept {self.kept} record(s) ({human_bytes(self.kept_bytes)})"
+        )
 
 
 def cache_key(spec: JobSpec) -> str:
@@ -157,3 +226,75 @@ class ResultCache:
             except OSError:
                 pass
         return removed
+
+    def gc(
+        self,
+        *,
+        max_bytes: int | None = None,
+        max_age: float | None = None,
+        now: float | None = None,
+    ) -> GcReport:
+        """Evict cached records by age and/or total-size budget.
+
+        Two passes: first every record whose mtime is older than
+        *max_age* seconds goes; then, while the surviving footprint
+        still exceeds *max_bytes*, the least recently touched records
+        go (eviction order is mtime, oldest first — a ``get`` does not
+        refresh mtime, so this is write-age LRU, which matches how the
+        content-addressed cache is actually reused: recomputed sweeps
+        rewrite their entries).  *now* exists for deterministic tests.
+        """
+        if max_bytes is None and max_age is None:
+            raise ValueError("gc needs max_bytes and/or max_age")
+        now = time.time() if now is None else now
+        entries: list[tuple[float, int, Path]] = []
+        for key in self.keys():
+            path = self.path_for(key)
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()  # oldest first
+
+        removed = 0
+        freed = 0
+        survivors: list[tuple[float, int, Path]] = []
+        for mtime, size, path in entries:
+            if max_age is not None and now - mtime > max_age:
+                try:
+                    path.unlink()
+                except OSError:
+                    # Still on disk: count it among the survivors so the
+                    # size pass and the report stay truthful.
+                    survivors.append((mtime, size, path))
+                    continue
+                removed += 1
+                freed += size
+            else:
+                survivors.append((mtime, size, path))
+
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in survivors)
+            kept: list[tuple[float, int, Path]] = []
+            for position, (mtime, size, path) in enumerate(survivors):
+                if total > max_bytes:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        kept.append((mtime, size, path))
+                        continue
+                    removed += 1
+                    freed += size
+                    total -= size
+                else:
+                    kept.extend(survivors[position:])
+                    break
+            survivors = kept
+
+        return GcReport(
+            removed=removed,
+            freed_bytes=freed,
+            kept=len(survivors),
+            kept_bytes=sum(size for _, size, _ in survivors),
+        )

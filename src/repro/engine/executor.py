@@ -1,35 +1,30 @@
-"""Sharded execution of work units with write-through caching.
+"""Grid execution over pluggable backends, with write-through caching.
 
 :func:`execute_unit` turns one :class:`~repro.engine.spec.JobSpec` into a
 :class:`~repro.engine.records.ResultRecord`; :func:`run_units` maps a
 whole grid, serving already-computed cells from the content-addressed
-cache and fanning the rest across ``multiprocessing`` workers.
+cache and handing the rest to an execution backend
+(:mod:`repro.engine.backends`): inline serial, a thread pool, a
+``multiprocessing`` fan-out, or the self-calibrating ``"auto"`` default
+that probes per-unit cost before committing to pool startup.
 
 Determinism contract: a record depends only on its spec — never on the
-worker count, execution order, or wall clock — so ``--workers 4`` and
-``--workers 1`` produce byte-identical results.  Workers receive plain
-spec dictionaries and resolve algorithm/graph names through the
-registry themselves, which keeps the fan-out free of code pickling (and
-safe under both ``fork`` and ``spawn`` start methods).  For plugins
-registered outside the built-in catalogue, each payload carries the
-names of the registering modules so a ``spawn`` worker can re-import
-them — which is why plugins must register at module import time.
+backend, worker count, execution order, or wall clock — so
+``--backend inline`` and ``--backend process --workers 4`` produce
+byte-identical results.
 """
 
 from __future__ import annotations
 
-import importlib
-import multiprocessing
 import sys
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, TextIO
+from typing import Callable, Iterable, TextIO
 
+from repro.engine.backends.base import ExecutionBackend, resolve_backend
 from repro.engine.cache import ResultCache, cache_key
 from repro.engine.records import ResultRecord, ResultStore
 from repro.engine.spec import JobSpec
-from repro.registry.algorithms import get_algorithm
-from repro.registry.families import get_family
 from repro.registry.measures import get_measure
 
 __all__ = [
@@ -46,7 +41,7 @@ __all__ = [
 
 
 def execute_unit(spec: JobSpec) -> ResultRecord:
-    """Execute one work unit (in-process; used directly by workers).
+    """Execute one work unit (in-process; used directly by backends).
 
     Dispatches to the unit's registered measure
     (:mod:`repro.registry.measures`); the content address doubles as the
@@ -55,44 +50,6 @@ def execute_unit(spec: JobSpec) -> ResultRecord:
     """
     key = cache_key(spec)
     return get_measure(spec.measure).execute(spec, key)
-
-
-def _plugin_modules(units: Iterable[JobSpec]) -> tuple[str, ...]:
-    """Modules whose import (re-)registers the units' registry entries.
-
-    Under the ``spawn`` start method a worker process starts with a
-    fresh interpreter: the built-in catalogue reloads lazily, but
-    plugins registered by user code would be missing.  Shipping the
-    registering modules' names lets workers re-import them — which is
-    why plugins should register at module import time.  Built-ins and
-    ``__main__`` are excluded (the registry loader and multiprocessing
-    itself already handle those).
-    """
-    modules: set[str] = set()
-    for unit in units:
-        modules.add(get_algorithm(unit.algorithm).origin)
-        family = get_family(unit.graph.family)
-        modules.add(getattr(family.build, "__module__", "") or "")
-        modules.add(type(get_measure(unit.measure)).__module__)
-    return tuple(sorted(
-        m for m in modules
-        if m and m != "__main__" and not m.startswith("repro.")
-    ))
-
-
-def _worker(
-    payload: tuple[int, dict[str, Any], tuple[str, ...]]
-) -> tuple[int, dict[str, Any]]:
-    index, spec_dict, plugin_modules = payload
-    for module in plugin_modules:
-        try:
-            importlib.import_module(module)
-        except Exception:
-            # If the plugin truly cannot be re-created here, resolution
-            # below fails with the registry's name-listing error.
-            pass
-    record = execute_unit(JobSpec.from_json_dict(spec_dict))
-    return index, record.to_json_dict()
 
 
 # ---------------------------------------------------------------------------
@@ -146,6 +103,10 @@ class ExecutionReport:
     store: ResultStore
     cache_hits: int
     computed: int
+    #: What actually ran, e.g. ``"inline"`` or ``"auto:process(workers=4)"``.
+    backend: str = "inline"
+    #: The calibration note for backends that decide at run time.
+    calibration: str = ""
 
     @property
     def records(self) -> list[ResultRecord]:
@@ -165,6 +126,12 @@ class ExecutionReport:
             f"({self.hit_rate:.1%} hit rate)"
         )
 
+    def backend_line(self) -> str:
+        line = f"backend: {self.backend}"
+        if self.calibration:
+            line += f" [{self.calibration}]"
+        return line
+
 
 def run_units(
     units: Iterable[JobSpec],
@@ -172,13 +139,17 @@ def run_units(
     workers: int = 1,
     cache: ResultCache | None = None,
     progress: Callable[[int, int], None] | None = None,
+    backend: ExecutionBackend | str | None = None,
 ) -> ExecutionReport:
     """Execute *units*, in order, and return their records.
 
-    Cached units are served from *cache* (write-through for the rest).
-    With ``workers > 1`` the uncached units are sharded across a process
-    pool; results are reassembled into submission order, so the returned
-    records are identical for every worker count.
+    Cached units are served from *cache* (write-through for the rest);
+    the remainder run on *backend* — a name from
+    :data:`~repro.engine.backends.BACKEND_NAMES`, a ready-made
+    :class:`ExecutionBackend`, or ``None`` for the self-calibrating
+    ``"auto"`` default.  Results are reassembled into submission order,
+    so the returned records are identical for every backend and worker
+    count.
     """
     units = list(units)
     keys = [cache_key(unit) for unit in units]
@@ -195,8 +166,8 @@ def run_units(
     if progress is not None:
         progress(done, hits)
 
-    def _finish(index: int, record: ResultRecord) -> None:
-        nonlocal done
+    resolved = resolve_backend(backend, workers=workers)
+    for index, record in resolved.run([(i, units[i]) for i in missing]):
         records[index] = record
         if cache is not None:
             cache.put(keys[index], record.to_json_dict())
@@ -204,15 +175,11 @@ def run_units(
         if progress is not None:
             progress(done, hits)
 
-    if workers > 1 and len(missing) > 1:
-        plugins = _plugin_modules(units[i] for i in missing)
-        payloads = [(i, units[i].to_json_dict(), plugins) for i in missing]
-        with multiprocessing.Pool(min(workers, len(missing))) as pool:
-            for index, record_dict in pool.imap_unordered(_worker, payloads):
-                _finish(index, ResultRecord.from_json_dict(record_dict))
-    else:
-        for index in missing:
-            _finish(index, execute_unit(units[index]))
-
     store = ResultStore(records[i] for i in range(len(units)))
-    return ExecutionReport(store=store, cache_hits=hits, computed=len(missing))
+    return ExecutionReport(
+        store=store,
+        cache_hits=hits,
+        computed=len(missing),
+        backend=resolved.describe(),
+        calibration=resolved.decision,
+    )

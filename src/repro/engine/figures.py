@@ -1,0 +1,133 @@
+"""The figure reproductions (E5–E11) as engine work units.
+
+The paper's Figures 1–9 are regenerated and verified by the pure
+builders in :mod:`repro.experiments.figures`; this module promotes each
+of them to a first-class engine citizen:
+
+* the ``figure`` *graph family* builds the
+  :class:`~repro.experiments.figures.FigureArtifact` for a figure id —
+  building *is* verifying, since every builder eagerly checks each
+  claim the paper states about the depicted objects;
+* one ``figure:N`` *measure* per figure turns the artifact into a
+  :class:`~repro.engine.records.ResultRecord` whose extras carry the
+  verified claims and the text rendering.
+
+That makes ``repro-eds figure all`` an ordinary grid run through
+:func:`~repro.engine.executor.run_units`: parallel across figures,
+served from the content-addressed cache, and byte-reproducible like
+every other unit.  Figure units resolve no algorithm (the artifact is
+the whole computation), which :attr:`Measure.uses_algorithm` declares.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.engine.records import ResultRecord
+from repro.engine.spec import GraphSpec, JobSpec
+from repro.exceptions import AlgorithmContractError
+from repro.registry.families import register_graph_family
+from repro.registry.measures import Measure, register_measure
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.experiments.figures import FigureArtifact
+
+__all__ = ["FIGURE_IDS", "FigureMeasure", "figure_unit", "figure_units"]
+
+#: The figure ids of experiments E5–E11, in paper order.
+FIGURE_IDS = ("1", "2", "3", "4", "5", "6", "7", "8", "9")
+
+
+def _build_artifact(figure_id: str) -> "FigureArtifact":
+    # Imported lazily: the figure builders pull in the whole analysis
+    # stack, which the registry catalogue must not pay for up front.
+    from repro.experiments.figures import all_figures
+
+    return all_figures()[figure_id]()
+
+
+register_graph_family(
+    "figure", params=("id",),
+    description="paper figure reproduction (builds the verified artifact)",
+)(lambda p, s: _build_artifact(str(p["id"])))
+
+
+class FigureMeasure(Measure):
+    """Regenerate one paper figure and record its verified claims.
+
+    Custom execution: the unit's ``figure`` family builds the artifact
+    (running every claim check eagerly), and the record's extras carry
+    the claims and the rendering — so a cached figure run replays its
+    exact output without rebuilding anything.
+    """
+
+    grid_safe = False
+    uses_algorithm = False
+
+    def __init__(self, figure_id: str):
+        self.figure_id = figure_id
+        self.name = f"figure:{figure_id}"
+
+    def execute(self, spec: JobSpec, key: str) -> ResultRecord:
+        from repro.experiments.figures import FigureArtifact
+
+        if spec.graph.family != "figure":
+            raise AlgorithmContractError(
+                f"measure {self.name!r} needs the 'figure' graph family, "
+                f"got {spec.graph.family!r}"
+            )
+        if dict(spec.graph.params).get("id") != int(self.figure_id):
+            raise AlgorithmContractError(
+                f"measure {self.name!r} got a unit for figure "
+                f"{dict(spec.graph.params).get('id')!r}"
+            )
+        artifact = spec.graph.build()
+        assert isinstance(artifact, FigureArtifact)
+        return ResultRecord(
+            key=key,
+            algorithm=spec.algorithm,
+            graph_family=spec.graph.family,
+            graph_label=artifact.figure_id,
+            num_nodes=0,
+            num_edges=0,
+            max_degree=0,
+            solution_size=0,
+            optimum=0,
+            optimum_exact=False,
+            ratio_num=0,
+            ratio_den=1,
+            rounds=0,
+            extra={
+                "figure": self.figure_id,
+                "figure_id": artifact.figure_id,
+                "description": artifact.description,
+                "checks": list(artifact.checks),
+                "rendering": artifact.rendering,
+            },
+        )
+
+
+for _fid in FIGURE_IDS:
+    register_measure(FigureMeasure(_fid))
+
+
+def figure_unit(figure_id: str) -> JobSpec:
+    """The work unit reproducing one figure through the engine."""
+    return JobSpec(
+        algorithm="figure",
+        graph=GraphSpec.make("figure", id=int(figure_id)),
+        measure=f"figure:{figure_id}",
+        optimum="none",
+        label=f"figure {figure_id}",
+    )
+
+
+def figure_units(figure_ids: Sequence[str] | None = None) -> list[JobSpec]:
+    """Work units for the given figures (default: all of E5–E11)."""
+    ids = FIGURE_IDS if figure_ids is None else tuple(figure_ids)
+    unknown = sorted(set(ids) - set(FIGURE_IDS))
+    if unknown:
+        raise KeyError(
+            f"unknown figure id(s) {unknown}; available: {FIGURE_IDS}"
+        )
+    return [figure_unit(fid) for fid in ids]

@@ -21,14 +21,13 @@ from __future__ import annotations
 
 import hashlib
 import json
-import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
 from repro.lowerbounds.instance import LowerBoundInstance
 from repro.portgraph.graph import PortNumberedGraph
 from repro.registry.base import UnknownNameError
-from repro.registry.families import family_names, get_family
+from repro.registry.families import get_family
 from repro.registry.measures import get_measure, measure_names
 
 __all__ = [
@@ -37,7 +36,6 @@ __all__ = [
     "OPTIMUM_MODES",
     "canonical_json",
     "derive_seed",
-    "graph_families",
 ]
 
 #: Optimum policies for the ``quality`` measure.
@@ -59,17 +57,6 @@ def derive_seed(*parts: Any) -> int:
     """
     digest = hashlib.sha256(canonical_json(list(parts)).encode()).digest()
     return int.from_bytes(digest[:8], "big") >> 1
-
-
-def graph_families() -> tuple[str, ...]:
-    """Deprecated alias for :func:`repro.registry.family_names`."""
-    warnings.warn(
-        "repro.engine.spec.graph_families() is deprecated; use "
-        "repro.registry.family_names()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return family_names()
 
 
 @dataclass(frozen=True)

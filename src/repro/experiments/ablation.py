@@ -65,6 +65,7 @@ def run_ablations(
     *,
     workers: int = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> list[AblationRow]:
     """Run all three ablations and return their rows.
 
@@ -157,7 +158,9 @@ def run_ablations(
             ),
         )
 
-    records = run_sweep(units, workers=workers, cache=cache).records
+    records = run_sweep(
+        units, workers=workers, cache=cache, backend=backend
+    ).records
     rows: list[AblationRow] = []
     cursor = 0
     for arity, builder in plans:

@@ -1,10 +1,16 @@
-"""Experiments E5-E11: reproduce the paper's Figures 1-9 as data.
+"""Experiments E5-E11: the pure figure builders (Figures 1-9 as data).
 
 The paper's figures are drawings; reproducing them means regenerating the
 *objects they depict* and verifying every property the paper states about
 them.  Each ``figureN()`` function returns a :class:`FigureArtifact` with
 the constructed objects, a battery of checks (run eagerly), and a text
 rendering for human inspection.
+
+This module holds only the builders.  Execution lives in the engine:
+:mod:`repro.engine.figures` registers the ``figure`` graph family and
+one ``figure:N`` measure per figure, so ``repro-eds figure all`` runs
+these builders as ordinary work units — parallel across figures and
+served from the content-addressed result cache.
 
 Fidelity notes
 --------------

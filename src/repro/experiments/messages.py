@@ -58,6 +58,7 @@ def message_complexity_sweep(
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     workers: int = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> list[MessageRow]:
     """Measure traffic for *algorithms* across d and n (engine-routed).
 
@@ -84,7 +85,7 @@ def message_complexity_sweep(
                 )
                 meta.append((name, d, n))
 
-    report = run_sweep(units, workers=workers, cache=cache)
+    report = run_sweep(units, workers=workers, cache=cache, backend=backend)
     return [
         MessageRow(
             algorithm=name,

@@ -57,6 +57,7 @@ def round_complexity_sweep(
     *,
     workers: int = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> list[RoundComplexityRow]:
     """Measure rounds vs. degree and vs. n for all three algorithms.
 
@@ -92,7 +93,7 @@ def round_complexity_sweep(
                 )
                 meta.append((name, d, n, predicted))
 
-    report = run_sweep(units, workers=workers, cache=cache)
+    report = run_sweep(units, workers=workers, cache=cache, backend=backend)
     return [
         RoundComplexityRow(name, d, n, record.rounds, predicted)
         for record, (name, d, n, predicted) in zip(report.records, meta)
@@ -127,6 +128,7 @@ def average_case_sweep(
     seed: int = 0,
     workers: int = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> list[ExperimentRow]:
     """Average-case ratios on random graphs, all algorithms.
 
@@ -161,7 +163,7 @@ def average_case_sweep(
                 for name in ("bounded_degree", "ids_greedy", "central_greedy")
             )
 
-    report = run_sweep(units, workers=workers, cache=cache)
+    report = run_sweep(units, workers=workers, cache=cache, backend=backend)
     # Degenerate empty bounded draws carry no information; drop their
     # rows the way the sequential harness always has.
     return [

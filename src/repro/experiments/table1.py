@@ -153,10 +153,11 @@ def reproduce_table1(
     *,
     workers: int = 1,
     cache: ResultCache | None = None,
+    backend: str | None = None,
 ) -> list[Table1Row]:
     """Run the full Table 1 reproduction and return all rows."""
     units, builders = _plan(even_degrees, odd_degrees, ks)
-    report = run_sweep(units, workers=workers, cache=cache)
+    report = run_sweep(units, workers=workers, cache=cache, backend=backend)
     return [
         builder(record)
         for builder, record in zip(builders, report.records)

@@ -320,7 +320,6 @@ def resolve(
     """Resolve *name* + *params* to a runnable :class:`BoundAlgorithm`.
 
     This is the single point where algorithm names turn back into code —
-    the executor, the API façade, and the deprecated
-    ``resolve_algorithm`` shim all call it.
+    the executor, the API façade, and the CLI all call it.
     """
     return get_algorithm(name).resolve(params, rng_seed=rng_seed)

@@ -6,7 +6,9 @@ package triggers them all.  The centralised baseline and the *graph
 families* are registered here, binding the pure builder functions from
 :mod:`repro.generators` and :mod:`repro.lowerbounds`.  The built-in
 *measures* live with the execution pipeline in
-:mod:`repro.engine.measures`.
+:mod:`repro.engine.measures`, and the figure reproductions (the
+``figure`` family plus one ``figure:N`` measure per paper figure) in
+:mod:`repro.engine.figures`.
 
 This module is imported lazily by the registries' first lookup (see
 :func:`repro.registry.base.load_builtins`), never eagerly, so the
@@ -16,6 +18,7 @@ catalogue costs nothing until a name is actually resolved.
 from __future__ import annotations
 
 import repro.algorithms  # noqa: F401  (import side effect: registrations)
+import repro.engine.figures  # noqa: F401  (import side effect: figures)
 import repro.engine.measures  # noqa: F401  (import side effect: measures)
 from repro.eds.greedy import two_approx_eds
 from repro.generators.bounded import (

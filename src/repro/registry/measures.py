@@ -78,6 +78,10 @@ class Measure:
     #: Usable from declarative grids (``sweep --measure ...``); measures
     #: tied to special constructions opt out.
     grid_safe: bool = True
+    #: Whether execution resolves the unit's algorithm name.  Measures
+    #: that regenerate fixed artifacts (the figure reproductions) opt
+    #: out, so their units need no registered algorithm.
+    uses_algorithm: bool = True
 
     def needs_trace(self, spec: "JobSpec") -> bool:
         """Whether this unit must run with message tracing enabled."""
@@ -99,17 +103,33 @@ class Measure:
 MEASURES: Registry[Measure] = Registry("measure", loader=load_builtins)
 
 
-def register_measure(cls: type[Measure]) -> type[Measure]:
-    """Class decorator registering a :class:`Measure` subclass."""
-    if not isinstance(cls, type) or not issubclass(cls, Measure):
-        raise RegistryError(
-            "register_measure expects a Measure subclass, got "
-            f"{cls!r}"
-        )
-    if not cls.name:
-        raise RegistryError(f"measure class {cls.__name__} must set a name")
-    MEASURES.register(cls.name, cls())
-    return cls
+def register_measure(
+    measure: "type[Measure] | Measure",
+) -> "type[Measure] | Measure":
+    """Register a :class:`Measure` subclass (decorator) or instance.
+
+    Classes are instantiated with no arguments; ready-made instances
+    register as-is, which is how parameterised measure families (one
+    measure per paper figure, say) enrol each member under its own name.
+    """
+    if isinstance(measure, type) and issubclass(measure, Measure):
+        if not measure.name:
+            raise RegistryError(
+                f"measure class {measure.__name__} must set a name"
+            )
+        MEASURES.register(measure.name, measure())
+        return measure
+    if isinstance(measure, Measure):
+        if not measure.name:
+            raise RegistryError(
+                f"measure instance {measure!r} must set a name"
+            )
+        MEASURES.register(measure.name, measure)
+        return measure
+    raise RegistryError(
+        f"register_measure expects a Measure subclass or instance, got "
+        f"{measure!r}"
+    )
 
 
 def get_measure(name: str) -> Measure:

@@ -25,11 +25,25 @@ class TestCommands:
         assert "TIGHT" in out
         assert "MISMATCH" not in out
 
-    def test_figure(self, capsys):
-        code = main(["figure", "2"])
+    def test_figure(self, capsys, tmp_path):
+        code = main(["figure", "2", "--cache-dir", str(tmp_path / "cache")])
         assert code == 0
         out = capsys.readouterr().out
         assert "verified claims" in out
+
+    def test_figure_all_routes_through_engine_cache(self, capsys, tmp_path):
+        """Figures are engine units: the rerun is served from cache and
+        prints the identical renderings and claims."""
+        cache_dir = str(tmp_path / "cache")
+        assert main(["figure", "all", "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert first.count("verified claims") == 9
+        assert main(["figure", "all", "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert second == first
+        # the cache really holds the figure units
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries:         9" in capsys.readouterr().out
 
     def test_rounds(self, capsys):
         code = main(["rounds", "--degrees", "1,3", "--sizes", "12"])
@@ -114,6 +128,29 @@ class TestSweepCommand:
     def test_sweep_rejects_unknown_algorithm(self, capsys):
         code, _ = self._run(capsys, "--no-cache", "--algorithms", "bogus")
         assert code == 2
+
+    @pytest.mark.parametrize("backend", ["inline", "thread", "process",
+                                         "auto"])
+    def test_sweep_backend_flag(self, capsys, tmp_path, backend):
+        jsonl = tmp_path / f"{backend}.jsonl"
+        code, out = self._run(
+            capsys, "--no-cache", "--backend", backend,
+            "--workers", "2", "--jsonl", str(jsonl),
+        )
+        assert code == 0
+        assert f"backend: {backend}" in out
+        # byte-identical to the inline baseline
+        baseline = tmp_path / "baseline.jsonl"
+        code, _ = self._run(
+            capsys, "--no-cache", "--backend", "inline",
+            "--jsonl", str(baseline),
+        )
+        assert code == 0
+        assert jsonl.read_bytes() == baseline.read_bytes()
+
+    def test_sweep_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--backend", "gpu"])
 
     def test_sweep_rejects_empty_grid(self, capsys):
         code = main(

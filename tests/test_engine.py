@@ -26,10 +26,10 @@ from repro.engine import (
     derive_seed,
     execute_unit,
     get_scenario,
-    graph_families,
     run_units,
     scenario_names,
 )
+from repro.registry import family_names
 
 
 def unit(seed: int = 1, *, label: str = "", algorithm: str = "port_one"):
@@ -60,7 +60,7 @@ class TestSpecs:
     def test_unknown_family_rejected(self):
         with pytest.raises(KeyError):
             GraphSpec.make("no-such-family", n=4)
-        assert "regular" in graph_families()
+        assert "regular" in family_names()
 
     def test_adversary_requires_lower_bound_family(self):
         with pytest.raises(ValueError):

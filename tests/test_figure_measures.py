@@ -1,0 +1,107 @@
+"""Tests for the figure reproductions as engine work units (E5-E11).
+
+The figure builders themselves are covered by test_experiments.py; this
+file covers their promotion to engine citizens — the ``figure`` graph
+family, the ``figure:N`` measure family, unit expansion, caching, and
+byte-reproducibility.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    FIGURE_IDS,
+    GraphSpec,
+    JobSpec,
+    ResultCache,
+    execute_unit,
+    figure_unit,
+    figure_units,
+    run_units,
+)
+from repro.exceptions import AlgorithmContractError
+from repro.experiments.figures import all_figures
+from repro.registry import get_family, get_measure, measure_names
+
+
+class TestRegistration:
+    def test_one_measure_per_figure(self):
+        for fid in FIGURE_IDS:
+            measure = get_measure(f"figure:{fid}")
+            assert measure.figure_id == fid
+            assert measure.grid_safe is False
+            assert measure.uses_algorithm is False
+
+    def test_figure_ids_match_the_builders(self):
+        assert set(FIGURE_IDS) == set(all_figures())
+
+    def test_figure_family_builds_artifacts(self):
+        from repro.experiments.figures import FigureArtifact
+
+        artifact = get_family("figure").make({"id": 4}, None)
+        assert isinstance(artifact, FigureArtifact)
+        assert artifact.figure_id == "figure-4"
+
+    def test_figure_measures_not_grid_safe(self):
+        assert not any(
+            get_measure(name).grid_safe
+            for name in measure_names() if name.startswith("figure:")
+        )
+
+
+class TestUnits:
+    def test_figure_units_expand_all(self):
+        units = figure_units()
+        assert len(units) == len(FIGURE_IDS)
+        assert [u.measure for u in units] == [
+            f"figure:{fid}" for fid in FIGURE_IDS
+        ]
+
+    def test_figure_units_subset_and_unknown(self):
+        assert [u.label for u in figure_units(["2", "7"])] == [
+            "figure 2", "figure 7"
+        ]
+        with pytest.raises(KeyError):
+            figure_units(["10"])
+
+    def test_record_carries_claims_and_rendering(self):
+        record = execute_unit(figure_unit("4"))
+        artifact = all_figures()["4"]()
+        assert record.extra["figure_id"] == "figure-4"
+        assert record.extra["checks"] == list(artifact.checks)
+        assert record.extra["rendering"] == artifact.rendering
+        assert record.graph_family == "figure"
+
+    def test_measure_rejects_wrong_family(self):
+        unit = JobSpec(
+            "figure", GraphSpec.make("cycle", n=8), measure="figure:1"
+        )
+        with pytest.raises(AlgorithmContractError):
+            execute_unit(unit)
+
+    def test_measure_rejects_mismatched_id(self):
+        unit = JobSpec(
+            "figure", GraphSpec.make("figure", id=2), measure="figure:3"
+        )
+        with pytest.raises(AlgorithmContractError):
+            execute_unit(unit)
+
+
+class TestEngineIntegration:
+    def test_cached_rerun_is_byte_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_units(figure_units(), cache=cache)
+        assert first.computed == len(FIGURE_IDS)
+        second = run_units(figure_units(), cache=cache)
+        assert second.cache_hits == len(FIGURE_IDS)
+        assert [r.canonical() for r in first.records] == [
+            r.canonical() for r in second.records
+        ]
+
+    def test_parallel_figures_match_serial(self):
+        serial = run_units(figure_units(["1", "2", "5"]), backend="inline")
+        parallel = run_units(
+            figure_units(["1", "2", "5"]), workers=2, backend="process"
+        )
+        assert serial.records == parallel.records

@@ -7,8 +7,6 @@ Covers the contracts the registry redesign makes:
 * randomised algorithms are engine-reachable and deterministic — the
   same work unit replays the same coins regardless of worker count or
   cache state,
-* the legacy entry points (``resolve_algorithm``, ``graph_families``)
-  keep working but warn,
 * third-party algorithms / graph families / measures plug in end to end.
 """
 
@@ -243,34 +241,14 @@ class TestRandomizedDeterminism:
         assert record.extra["max_round_messages"] <= record.messages
 
 
-class TestDeprecationShims:
-    def test_resolve_algorithm_warns_and_works(self):
-        from repro.analysis.runner import resolve_algorithm
+class TestLegacyAdapters:
+    def test_legacy_shims_are_gone(self):
+        """The one-release deprecation shims were removed on schedule."""
+        import repro.analysis.runner as runner
+        import repro.engine.spec as spec
 
-        with pytest.warns(DeprecationWarning):
-            spec = resolve_algorithm("port_one")
-        assert spec.name == "port_one"
-        assert spec.model == "anonymous"
-        g = GraphSpec.make("cycle", n=8).build()
-        edge_set, rounds = spec.run(g)
-        assert rounds == 1 and edge_set
-
-    def test_resolve_algorithm_params_still_work(self):
-        from repro.analysis.runner import resolve_algorithm
-
-        with pytest.warns(DeprecationWarning):
-            spec = resolve_algorithm("bounded_degree", delta=5)
-        g = GraphSpec.make("regular", seed=0, d=3, n=12).build()
-        _, rounds = spec.run(g)
-        # A(5) pays the inflated-promise round cost: 2·5² + 4·5
-        assert rounds == 70
-
-    def test_graph_families_warns_and_matches_registry(self):
-        from repro.engine.spec import graph_families
-
-        with pytest.warns(DeprecationWarning):
-            families = graph_families()
-        assert families == family_names()
+        assert not hasattr(runner, "resolve_algorithm")
+        assert not hasattr(spec, "graph_families")
 
     def test_standard_algorithms_resolved_from_registry(self):
         from repro.analysis.runner import standard_algorithms
@@ -381,14 +359,22 @@ class TestWorkerPluginPropagation:
             ALGORITHMS.unregister("test_origin_probe")
 
     def test_builtin_units_ship_no_plugin_modules(self):
-        from repro.engine.executor import _plugin_modules
+        from repro.engine.backends.process import _plugin_modules
 
         assert _plugin_modules([randomized_unit()]) == ()
+
+    def test_figure_units_need_no_algorithm_resolution(self):
+        from repro.engine.backends.process import _plugin_modules
+        from repro.engine.figures import figure_unit
+
+        # 'figure' names no registered algorithm; plugin collection must
+        # honour the measure's uses_algorithm=False instead of resolving.
+        assert _plugin_modules([figure_unit("4")]) == ()
 
     def test_worker_reimports_plugin_module(self, tmp_path, monkeypatch):
         import sys
 
-        from repro.engine.executor import _plugin_modules, _worker
+        from repro.engine.backends.process import _plugin_modules, _worker
 
         plugin = tmp_path / "eds_plugin_mod.py"
         plugin.write_text(
