@@ -1,0 +1,91 @@
+"""Baseline-subsystem smoke: comparison units are engine citizens.
+
+The repro.baselines algorithms are only useful if they behave exactly
+like built-in units inside the engine: content-addressed, cacheable,
+and byte-reproducible (randomised rounding included — its coins derive
+from the unit's content hash).  Each check here doubles as a benchmark
+of the comparison grid, and the cached re-run asserts the 100% hit
+rate that makes ``repro-eds compare`` cheap to iterate on.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.api import run_sweep
+from repro.engine import ResultCache, SweepGrid
+
+from conftest import emit
+
+COMPARISON_GRID = SweepGrid(
+    name="bench-baselines",
+    algorithms=(
+        "greedy_mds_line", "lp_rounding", "forest_dds", "central_optimal",
+    ),
+    family="regular",
+    degrees=(3, 4),
+    sizes=(12, 16),
+    seeds=2,
+    measure="comparison",
+    optimum="auto",
+)
+
+
+def test_baseline_units_byte_reproducible():
+    """Re-executing the grid reproduces every record byte for byte."""
+    first = run_sweep(COMPARISON_GRID, backend="inline")
+    second = run_sweep(COMPARISON_GRID, backend="process", workers=2)
+    assert (
+        [r.canonical() for r in first.records]
+        == [r.canonical() for r in second.records]
+    )
+    emit(
+        f"baseline grid: {len(first.records)} units byte-identical "
+        "across inline and process backends"
+    )
+
+
+def test_baseline_units_engine_cacheable(tmp_path_factory):
+    """A second run over the same cache is served entirely from disk."""
+    cache = ResultCache(tmp_path_factory.mktemp("baseline-cache"))
+    cold_started = time.perf_counter()
+    cold = run_sweep(COMPARISON_GRID, cache=cache, backend="inline")
+    cold_elapsed = time.perf_counter() - cold_started
+    warm_started = time.perf_counter()
+    warm = run_sweep(COMPARISON_GRID, cache=cache, backend="inline")
+    warm_elapsed = time.perf_counter() - warm_started
+
+    assert cold.computed == len(cold.records)
+    assert warm.cache_hits == len(warm.records)
+    assert warm.computed == 0
+    assert (
+        [r.canonical() for r in cold.records]
+        == [r.canonical() for r in warm.records]
+    )
+    emit(
+        f"baseline cache round-trip: cold {cold_elapsed * 1000:.1f} ms, "
+        f"warm {warm_elapsed * 1000:.1f} ms "
+        f"({warm.cache_hits}/{len(warm.records)} hits)"
+    )
+
+
+#: The hint-benchmark grid: no exact optima, no exact-solver contender,
+#: so every unit is genuinely tiny (well under the 10 ms threshold).
+TINY_COMPARISON_GRID = COMPARISON_GRID.override(
+    name="bench-baselines-tiny",
+    algorithms=("greedy_mds_line", "lp_rounding", "forest_dds"),
+    sizes=(12,),
+    optimum="none",
+)
+
+
+def test_comparison_measure_stays_inline_under_auto():
+    """The scheduling-hint satellite, observed end to end: on a grid of
+    tiny units the auto backend skips calibration entirely and stays
+    inline.  (Expensive units still re-escalate — the hint skips the
+    probe, not the safety net.)"""
+    report = run_sweep(TINY_COMPARISON_GRID, workers=4, backend="auto")
+    assert report.backend == "auto:inline"
+    assert "measure hint" in report.calibration
+    assert "calibration skipped" in report.calibration
+    emit(f"auto backend on tiny comparison grid: {report.backend_line()}")

@@ -29,7 +29,7 @@ import os
 from typing import Any, Callable, Iterable, Mapping, TypeAlias
 
 from repro.engine.backends import ExecutionBackend
-from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.engine.cache import DEFAULT_CACHE_DIR, ResultCache, parse_size
 from repro.engine.executor import ExecutionReport, run_units
 from repro.engine.grid import SweepGrid
 from repro.engine.records import ResultRecord
@@ -116,6 +116,7 @@ def run_sweep(
     progress: Callable[[int, int], None] | None = None,
     jsonl: str | os.PathLike[str] | None = None,
     backend: "ExecutionBackend | str | None" = None,
+    cache_max_size: int | str | None = None,
     **overrides: Any,
 ) -> ExecutionReport:
     """Run a grid of work units through the parallel experiment engine.
@@ -129,6 +130,9 @@ def run_sweep(
     ``"process"``, or an :class:`ExecutionBackend`); the default
     ``"auto"`` stays serial for cheap units and fans out across
     *workers* processes once per-unit cost justifies pool startup.
+    *cache_max_size* (bytes, or a human size like ``"64MiB"``) is the
+    opt-in gc automation: after the sweep the cache is evicted down to
+    the cap, least recently written records first.
     """
     if isinstance(grid, str):
         grid = get_scenario(grid)
@@ -143,12 +147,17 @@ def run_sweep(
                 f"inputs, not explicit unit lists: {sorted(overrides)}"
             )
         units = list(grid)
+    max_bytes = (
+        parse_size(cache_max_size)
+        if isinstance(cache_max_size, str) else cache_max_size
+    )
     report = run_units(
         units,
         workers=max(1, workers),
         cache=as_cache(cache, cache_dir=cache_dir),
         progress=progress,
         backend=backend,
+        cache_max_bytes=max_bytes,
     )
     if jsonl is not None:
         report.store.to_jsonl(jsonl)

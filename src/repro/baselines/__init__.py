@@ -1,0 +1,56 @@
+"""Related-work comparison baselines for edge dominating sets.
+
+The paper's bounds only mean something next to what other distributed
+approaches achieve on the same instances.  This package implements a
+family of comparison algorithms from the related literature against the
+same :mod:`repro.runtime` simulator and registers them through
+:mod:`repro.registry`, so they drop straight into any sweep, scenario,
+or ``repro-eds compare`` run:
+
+* ``greedy_mds_line`` (:mod:`repro.baselines.greedy_mds`) — the classic
+  distributed greedy minimum-dominating-set heuristic run on the line
+  graph ``L(G)`` (EDS of G = dominating set of L(G)); identified model.
+  The span-greedy rule is the workhorse of Alipour's MDS survey
+  (arXiv:2103.08061).
+* ``lp_rounding`` (:mod:`repro.baselines.lp_rounding`) — an LP-based
+  fractional-then-round approximation in the style of the survey's
+  LP algorithms: a multiplicative-increase fractional solve of the
+  dominating-set LP on ``L(G)`` followed by randomised rounding and a
+  deterministic fix-up; anonymous + private coins.
+* ``forest_dds`` (:mod:`repro.baselines.forest`) — an adaptation of the
+  bounded-arboricity dominating-set approach of Dory–Ghaffari–Ilchi
+  (arXiv:2206.05174): peel ``L(G)`` into layers (an H-partition /
+  forest-decomposition step), then charge every edge to the top of its
+  out-neighbourhood; identified model.
+* ``central_optimal`` (:mod:`repro.baselines.reference`) — the
+  sequential exact optimum as a registered algorithm, so every
+  comparison table has a ratio-1.0 reference row.
+
+All four expose the same ``ratio`` / ``rounds`` / ``messages`` measures
+as the paper's algorithms — a baseline work unit is just a
+:class:`~repro.engine.spec.JobSpec` naming a different algorithm.
+Importing this package registers every baseline (the modules register
+where they define, like :mod:`repro.algorithms`); the registry's
+built-in loader imports it lazily via :mod:`repro.registry.builtins`.
+"""
+
+from repro.baselines.forest import ForestDecompositionEDS
+from repro.baselines.greedy_mds import GreedyLineMDS
+from repro.baselines.lp_rounding import LPRoundingEDS
+from repro.baselines.reference import optimal_eds_reference
+
+__all__ = [
+    "BASELINE_ALGORITHMS",
+    "ForestDecompositionEDS",
+    "GreedyLineMDS",
+    "LPRoundingEDS",
+    "optimal_eds_reference",
+]
+
+#: The registered names this package contributes, in catalogue order.
+BASELINE_ALGORITHMS = (
+    "greedy_mds_line",
+    "lp_rounding",
+    "forest_dds",
+    "central_optimal",
+)

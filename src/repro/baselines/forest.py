@@ -1,0 +1,164 @@
+"""Baseline: forest-decomposition dominating set, adapted to EDS.
+
+Dory–Ghaffari–Ilchi (arXiv:2206.05174) get near-optimal distributed
+dominating sets in bounded-arboricity graphs from a two-step recipe:
+decompose the graph into few forests (an H-partition: repeatedly peel
+low-degree vertices into layers, which also yields an acyclic
+orientation of bounded out-degree), then resolve every coverage
+obligation *along the orientation* — each vertex charges itself to its
+out-neighbourhood, whose bounded size bounds the approximation.
+
+This module adapts that recipe to edge dominating sets by running it on
+the line graph ``L(G)`` (EDS of G = dominating set of L(G); when ``G``
+has max degree Δ, ``L(G)`` has arboricity at most Δ):
+
+1. **Peeling.**  In round ``r`` every still-unpeeled edge whose
+   remaining L(G)-degree is at most ``4·a·r`` peels into layer ``r``
+   (``a`` is the arboricity promise).  With an honest promise at least
+   half of the remaining edges peel per round, and the linear threshold
+   schedule guarantees termination even under a dishonest one.  The
+   layers orient ``L(G)``: from low ``(layer, id)`` to high.
+
+2. **Selection.**  Every edge ``e`` nominates the *top* of its closed
+   out-neighbourhood — the maximum of ``N[e]`` under ``(layer, id)``,
+   i.e. the last of its neighbours to peel — and the dominating set is
+   exactly the nominated edges.  Every edge is dominated by its own
+   nominee, and charging along the orientation keeps the selection
+   sparse on forests and other low-arboricity inputs.
+
+The simulation never materialises ``L(G)``: a node manages its
+incident edges, peel decisions are computed identically at both
+endpoints from exchanged uncovered counts, and the nomination only
+needs each neighbour's *maximum* ``(layer, id)`` — one value per node,
+piggybacked on every status message until everyone has heard it.
+Nodes finish peeling at different times, so the status / done / flag
+hand-off is asynchronous; a node halts once it knows, for each incident
+edge, whether either endpoint nominated it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.runtime.algorithm import Message, NodeProgram
+
+__all__ = ["ForestDecompositionEDS"]
+
+#: A (layer, edge id) pair: the orientation key of one L(G) vertex.
+_Key = tuple[int, tuple[int, int]]
+
+
+class ForestDecompositionEDS(NodeProgram):
+    """Identified-model forest-decomposition EDS (DGI-style adaptation).
+
+    Use with :func:`repro.runtime.run_identified`::
+
+        run_identified(graph, lambda d, uid:
+                       ForestDecompositionEDS(d, uid, arboricity=2))
+    """
+
+    def __init__(self, degree: int, uid: int, arboricity: int) -> None:
+        super().__init__(degree)
+        self.uid = uid
+        self.arboricity = max(1, arboricity)
+        self.neighbour_id: dict[int, int] = {}
+        self.layer: dict[int, int | None] = {i: None for i in self._ports()}
+        self.my_done: _Key | None = None
+        self.done_from: dict[int, _Key] = {}
+        self.my_flags: dict[int, bool] = {}
+        self.flags_sent = False
+        self.flag_from: dict[int, bool] = {}
+
+    def _ports(self) -> range:
+        return range(1, self.degree + 1)
+
+    def _edge_id(self, port: int) -> tuple[int, int]:
+        other = self.neighbour_id[port]
+        return (min(self.uid, other), max(self.uid, other))
+
+    def _unpeeled(self) -> list[int]:
+        return [i for i in self._ports() if self.layer[i] is None]
+
+    def send(self, rnd: int) -> Mapping[int, Message]:
+        if rnd == 0:
+            return {i: ("id", self.uid) for i in self._ports()}
+        if self.flags_sent:
+            return {}
+        if self.my_done is not None and len(self.done_from) == self.degree:
+            # Nominate the top of each edge's closed neighbourhood and
+            # tell each neighbour whether any edge here nominated theirs.
+            nominees = {
+                j: max(self.my_done, self.done_from[j]) for j in self._ports()
+            }
+            self.my_flags = {
+                i: any(
+                    nominees[j] == (self.layer[i], self._edge_id(i))
+                    for j in self._ports()
+                )
+                for i in self._ports()
+            }
+            self.flags_sent = True
+            return {
+                i: ("flag", self.my_flags[i], self.my_done)
+                for i in self._ports()
+            }
+        count = len(self._unpeeled())
+        return {i: ("st", count, self.my_done) for i in self._ports()}
+
+    def receive(self, rnd: int, inbox: Mapping[int, Message]) -> None:
+        if rnd == 0:
+            for i, (_, uid) in inbox.items():
+                self.neighbour_id[i] = uid
+            return
+        counts: dict[int, int] = {}
+        for i, message in inbox.items():
+            if message[0] == "st":
+                counts[i] = message[1]
+                if message[2] is not None:
+                    self.done_from[i] = message[2]
+            elif message[0] == "flag":
+                self.flag_from[i] = message[1]
+                self.done_from[i] = message[2]
+
+        unpeeled = self._unpeeled()
+        if unpeeled:
+            mine = len(unpeeled)
+            threshold = 4 * self.arboricity * rnd
+            for i in unpeeled:
+                if i in counts and mine + counts[i] - 2 <= threshold:
+                    self.layer[i] = rnd
+            if not self._unpeeled():
+                self.my_done = max(
+                    (self.layer[i], self._edge_id(i)) for i in self._ports()
+                )
+
+        if self.flags_sent and len(self.flag_from) == self.degree:
+            self.halt(frozenset(
+                i for i in self._ports()
+                if self.my_flags[i] or self.flag_from[i]
+            ))
+
+
+# Registered where it is defined: work units reach this program by name.
+from repro.registry.algorithms import register_identified  # noqa: E402
+
+
+def _forest_factory(graph, arboricity=None):
+    graph.require_simple()
+    # L(G) has arboricity <= Δ; the promise defaults to that bound.
+    promise = (
+        arboricity if arboricity is not None else max(graph.max_degree, 1)
+    )
+    return lambda degree, uid: ForestDecompositionEDS(degree, uid, promise)
+
+
+register_identified(
+    "forest_dds",
+    _forest_factory,
+    params=("arboricity",),
+    description=(
+        "forest-decomposition dominating set on the line graph "
+        "(Dory–Ghaffari–Ilchi adaptation): peel into layers, then "
+        "charge each edge to the top of its out-neighbourhood"
+    ),
+)

@@ -1,0 +1,163 @@
+"""Baseline: distributed greedy MDS on the line graph (identified model).
+
+An edge dominating set of ``G`` is exactly a dominating set of the line
+graph ``L(G)`` (paper §1.1), so the oldest dominating-set heuristic in
+the distributed literature — span greedy, the starting point of
+Alipour's MDS survey (arXiv:2103.08061) — becomes an EDS baseline by
+running it on ``L(G)``.  The *span* of an L(G)-vertex (an edge of G) is
+the number of still-undominated L(G)-vertices in its closed
+neighbourhood; greedy repeatedly takes a vertex of locally maximum
+span.
+
+The simulation never materialises ``L(G)``: each node of ``G`` manages
+its incident edges.  An edge ``e = {u, w}`` is identified by the pair
+of its endpoint identifiers, its span is computable from the two
+endpoints' uncovered-incident-edge counts (the only shared edge is
+``e`` itself), and the local-maximum rule needs one more exchange — the
+best competing candidate on each side.  Ties break by edge identifier,
+which makes ``(span, id)`` a total order: no two adjacent edges can
+both win a phase, and the globally best candidate always wins, so the
+number of phases is at most ``|E|`` (in practice a few).
+
+Phases of three rounds after one identifier-exchange round:
+
+1. *count* — every node tells its neighbours how many of its incident
+   edges are still uncovered; both endpoints of ``e`` can now compute
+   ``span(e)``.
+2. *bid* — for each uncovered edge, each endpoint sends the strongest
+   ``(span, id)`` among its *other* candidate edges; ``e`` joins the
+   dominating set iff it beats both sides' best competitors.
+3. *cover* — endpoints of joined edges announce the join; every edge
+   adjacent to a joined edge (and the edge itself) becomes covered.
+   A node whose incident edges are all covered halts with its selected
+   ports.
+
+All decisions are made identically at both endpoints from the same
+data, so the announced port sets satisfy the §2.2 output-consistency
+requirement, and messages travel only over uncovered edges — the
+protocol is ``strict_delivery``-safe.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.runtime.algorithm import Message, NodeProgram
+
+__all__ = ["GreedyLineMDS"]
+
+_PHASE_LEN = 3  # count, bid, cover
+
+#: (span, edge id) pairs order candidates; None means "no competitor".
+_Key = tuple[int, tuple[int, int]]
+
+
+class GreedyLineMDS(NodeProgram):
+    """Identified-model span-greedy dominating set on the line graph.
+
+    Use with :func:`repro.runtime.run_identified`::
+
+        run_identified(graph, GreedyLineMDS)
+    """
+
+    def __init__(self, degree: int, uid: int) -> None:
+        super().__init__(degree)
+        self.uid = uid
+        self.neighbour_id: dict[int, int] = {}
+        self.covered: dict[int, bool] = {i: False for i in self._ports()}
+        self.selected: set[int] = set()
+        self.spans: dict[int, int] = {}
+        self.joins: dict[int, bool] = {}
+
+    def _ports(self) -> range:
+        return range(1, self.degree + 1)
+
+    def _edge_id(self, port: int) -> tuple[int, int]:
+        other = self.neighbour_id[port]
+        return (min(self.uid, other), max(self.uid, other))
+
+    def _uncovered(self) -> list[int]:
+        return [i for i in self._ports() if not self.covered[i]]
+
+    def send(self, rnd: int) -> Mapping[int, Message]:
+        if rnd == 0:
+            return {i: ("id", self.uid) for i in self._ports()}
+        phase_round = (rnd - 1) % _PHASE_LEN
+        uncovered = self._uncovered()
+        if phase_round == 0:
+            count = len(uncovered)
+            return {i: ("cnt", count) for i in uncovered}
+        if phase_round == 1:
+            bids: dict[int, Message] = {}
+            for i in uncovered:
+                others = [
+                    (self.spans[j], self._edge_id(j))
+                    for j in uncovered
+                    if j != i
+                ]
+                bids[i] = ("bid", max(others) if others else None)
+            return bids
+        # cover round: only a node with a joined edge has news to share.
+        if any(self.joins.values()):
+            return {i: ("cov", True) for i in uncovered}
+        return {}
+
+    def receive(self, rnd: int, inbox: Mapping[int, Message]) -> None:
+        if rnd == 0:
+            for i, (_, uid) in inbox.items():
+                self.neighbour_id[i] = uid
+            return
+        phase_round = (rnd - 1) % _PHASE_LEN
+        if phase_round == 0:
+            # span(e) = my uncovered count + theirs - (e counted twice)
+            mine = len(self._uncovered())
+            self.spans = {}
+            for i in self._uncovered():
+                message = inbox.get(i)
+                if message is not None:
+                    self.spans[i] = mine + message[1] - 1
+        elif phase_round == 1:
+            self.joins = {}
+            for i in self._uncovered():
+                if i not in self.spans:
+                    continue
+                key: _Key = (self.spans[i], self._edge_id(i))
+                others = [
+                    (self.spans[j], self._edge_id(j))
+                    for j in self._uncovered()
+                    if j != i and j in self.spans
+                ]
+                message = inbox.get(i)
+                their_best = message[1] if message is not None else None
+                wins = all(key > other for other in others)
+                if wins and (their_best is None or key > their_best):
+                    self.joins[i] = True
+        else:
+            any_joined = any(self.joins.values())
+            for i in list(self._uncovered()):
+                if self.joins.get(i):
+                    self.selected.add(i)
+                if any_joined or inbox.get(i) == ("cov", True):
+                    self.covered[i] = True
+            self.joins = {}
+            if not self._uncovered():
+                self.halt(frozenset(self.selected))
+
+
+# Registered where it is defined: work units reach this program by name.
+from repro.registry.algorithms import register_identified  # noqa: E402
+
+
+def _greedy_line_factory(graph):
+    graph.require_simple()
+    return GreedyLineMDS
+
+
+register_identified(
+    "greedy_mds_line",
+    _greedy_line_factory,
+    description=(
+        "span-greedy dominating set on the line graph (Alipour MDS "
+        "survey baseline); identified model, <= |E| phases"
+    ),
+)

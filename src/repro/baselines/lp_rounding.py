@@ -1,0 +1,145 @@
+"""Baseline: fractional-then-round EDS approximation (randomised model).
+
+The LP-based algorithms in Alipour's MDS survey (arXiv:2103.08061)
+follow a two-act script: approximately solve the dominating-set LP
+relaxation with a few rounds of multiplicative updates, then round the
+fractional solution randomly and patch the constraints the coin flips
+missed.  This module plays that script on the line graph ``L(G)``,
+where a dominating set is exactly an edge dominating set of ``G``.
+
+Act I — fractional solve.  Every edge ``e`` carries a variable
+``x_e``, initialised to ``1/(2Δ)`` (``Δ`` is the max-degree promise, so
+closed L(G)-neighbourhoods have at most ``2Δ - 1`` members).  For
+``T = ⌈log2(2Δ)⌉`` phases, every *violated* constraint — an edge whose
+closed neighbourhood sums below 1 — doubles all of its variables
+(capped at 1).  A violated constraint doubles its own variable too, so
+after ``T`` phases every constraint is satisfied; the multiplicative
+schedule keeps the fractional objective within an ``O(log Δ)`` factor
+of the LP optimum.  All arithmetic is exact (:class:`~fractions.
+Fraction`), so both endpoints of an edge always agree on its value.
+
+Act II — randomised rounding.  Each edge enters the candidate set with
+probability ``min(1, x_e · ln(2Δ))``; the two endpoints flip
+independently and OR their coins (one exchanged message), which keeps
+the model anonymous — no identifiers, only private coins.  A final
+deterministic fix-up adds every edge whose closed neighbourhood the
+sampling left empty, so the output is always a feasible EDS.
+
+Every node halts after exactly ``2T + 2`` rounds, which makes the
+round count a closed form of the degree promise — the comparison
+tables show it next to the paper's ``O(Δ²)`` bounds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from fractions import Fraction
+from typing import Mapping
+
+from repro.runtime.algorithm import Message, NodeProgram
+
+__all__ = ["LPRoundingEDS", "doubling_phases"]
+
+
+def doubling_phases(delta: int) -> int:
+    """Phases until ``x = 1/(2Δ)`` provably reaches 1: ``⌈log2(2Δ)⌉``."""
+    return max(1, (2 * max(1, delta) - 1).bit_length())
+
+
+class LPRoundingEDS(NodeProgram):
+    """Anonymous + private-coins LP rounding for edge dominating sets.
+
+    Use with :func:`repro.runtime.randomized.run_randomized`::
+
+        run_randomized(graph, lambda d, rng: LPRoundingEDS(d, rng, delta=4))
+    """
+
+    def __init__(self, degree: int, rng: random.Random, delta: int) -> None:
+        super().__init__(degree)
+        self.rng = rng
+        self.delta = max(1, delta)
+        #: |N[e]| in L(G) is at most 2Δ - 1 under the degree promise.
+        self.nbhd_cap = max(1, 2 * self.delta - 1)
+        self.phases = doubling_phases(self.delta)
+        start = Fraction(1, 2 * self.delta)
+        self.x: dict[int, Fraction] = {i: start for i in self._ports()}
+        self.violated: dict[int, bool] = {}
+        self.sampled: dict[int, bool] = {}
+        self.flips: dict[int, bool] = {}
+
+    def _ports(self) -> range:
+        return range(1, self.degree + 1)
+
+    def send(self, rnd: int) -> Mapping[int, Message]:
+        if rnd < 2 * self.phases:
+            if rnd % 2 == 0:
+                total = sum(self.x.values())
+                return {i: ("sum", total) for i in self._ports()}
+            flag = any(self.violated.values())
+            return {i: ("viol", flag) for i in self._ports()}
+        if rnd == 2 * self.phases:
+            # Rounding: OR of two endpoint coins hits min(1, x·ln(2Δ)).
+            scale = max(1.0, math.log(self.nbhd_cap + 1))
+            self.flips = {}
+            for i in self._ports():
+                target = min(1.0, float(self.x[i]) * scale)
+                per_endpoint = 1.0 - math.sqrt(1.0 - target)
+                self.flips[i] = self.rng.random() < per_endpoint
+            return {i: ("flip", self.flips[i]) for i in self._ports()}
+        return {i: ("dom", any(self.sampled.values())) for i in self._ports()}
+
+    def receive(self, rnd: int, inbox: Mapping[int, Message]) -> None:
+        if rnd < 2 * self.phases:
+            if rnd % 2 == 0:
+                mine = sum(self.x.values())
+                self.violated = {
+                    i: mine + inbox[i][1] - self.x[i] < 1
+                    for i in self._ports()
+                }
+            else:
+                flag = any(self.violated.values())
+                for i in self._ports():
+                    if flag or inbox[i] == ("viol", True):
+                        self.x[i] = min(Fraction(1), 2 * self.x[i])
+            return
+        if rnd == 2 * self.phases:
+            self.sampled = {
+                i: self.flips[i] or inbox[i] == ("flip", True)
+                for i in self._ports()
+            }
+            return
+        # Fix-up: an edge whose closed neighbourhood the sampling missed
+        # joins by itself (both endpoints see the same two flags).
+        mine = any(self.sampled.values())
+        output = set()
+        for i in self._ports():
+            dominated = mine or inbox[i] == ("dom", True)
+            if self.sampled[i] or not dominated:
+                output.add(i)
+        self.halt(frozenset(output))
+
+
+# Registered where it is defined: work units reach this program by name.
+# The engine hands every unit a content-hash-derived rng_seed, so the
+# randomised rounding is cacheable and byte-reproducible like any
+# deterministic unit.
+from repro.registry.algorithms import register_randomized  # noqa: E402
+
+
+def _lp_rounding_builder(graph, delta=None):
+    graph.require_simple()
+    promise = delta if delta is not None else max(graph.max_degree, 1)
+    return lambda degree, rng: LPRoundingEDS(degree, rng, promise)
+
+
+register_randomized(
+    "lp_rounding",
+    _lp_rounding_builder,
+    params=("delta",),
+    description=(
+        "fractional dominating-set LP on the line graph solved by "
+        "multiplicative updates, then randomised rounding + fix-up "
+        "(Alipour-survey LP baseline); 2⌈log2(2Δ)⌉ + 2 rounds"
+    ),
+)

@@ -1,0 +1,37 @@
+"""Baseline: the sequential exact optimum as a registered algorithm.
+
+Comparison tables need a ratio-1.0 anchor row.  The exact solver
+(:func:`repro.eds.exact.minimum_edge_dominating_set`, branch-and-bound
+over minimum maximal matchings) already exists as the *measurement*
+optimum; registering it as a ``central``-model *algorithm* lets it run
+head-to-head inside the same sweeps — zero rounds, zero messages,
+solution size equal to the optimum by construction.
+
+Exponential time: keep the instances at comparison scale (the
+``comparison`` scenario stays within the engine's default
+``exact_edge_limit`` of 48 edges).
+"""
+
+from __future__ import annotations
+
+from repro.eds.exact import minimum_edge_dominating_set
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import PortEdge
+from repro.registry.algorithms import register_central
+
+__all__ = ["optimal_eds_reference"]
+
+
+def optimal_eds_reference(graph: PortNumberedGraph) -> frozenset[PortEdge]:
+    """An optimal edge dominating set (sequential branch-and-bound)."""
+    return minimum_edge_dominating_set(graph)
+
+
+register_central(
+    "central_optimal",
+    optimal_eds_reference,
+    description=(
+        "sequential exact optimum (branch-and-bound minimum maximal "
+        "matching); the ratio-1.0 reference row of comparison tables"
+    ),
+)

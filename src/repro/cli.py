@@ -15,6 +15,11 @@ Examples
     repro-eds sweep --no-cache --degrees 3,5 --sizes 16 --seeds 2
     repro-eds sweep --backend inline --degrees 2,3 --sizes 12 --seeds 1
     repro-eds sweep --algorithms randomized_matching --measure messages
+    repro-eds sweep --scenario default --cache-max-size 64MiB
+    repro-eds compare
+    repro-eds compare --families regular --degrees 3,5 --sizes 12,16
+    repro-eds compare --algorithms port_one,greedy_mds_line,central_optimal
+    repro-eds plugins
     repro-eds messages --degrees 3,5 --sizes 16,32,64
     repro-eds cache stats
     repro-eds cache gc --max-size 64MiB --max-age 7d
@@ -44,6 +49,12 @@ from repro.engine import (
 )
 from repro.engine.cache import human_bytes, parse_age, parse_size
 from repro.experiments.ablation import format_ablations, run_ablations
+from repro.experiments.compare import (
+    COMPARE_FAMILIES,
+    comparison_units,
+    format_comparison,
+    run_comparison,
+)
 from repro.experiments.messages import (
     format_messages,
     message_complexity_sweep,
@@ -99,6 +110,22 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
 
 def _engine_cache(args: argparse.Namespace) -> ResultCache | None:
     return api.as_cache(args.cache, cache_dir=args.cache_dir)
+
+
+def _add_cache_max_size_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-max-size", default=None, metavar="SIZE",
+        help="after the run, evict least recently written cache "
+        "records until the cache fits SIZE (opt-in gc automation; "
+        "this run's records are refreshed first and evicted last)",
+    )
+
+
+def _cache_max_bytes(args: argparse.Namespace) -> int | None:
+    """The parsed ``--cache-max-size`` cap (None when not requested)."""
+    if args.cache_max_size is None:
+        return None
+    return parse_size(args.cache_max_size)
 
 
 def _grid_measures() -> tuple[str, ...]:
@@ -199,7 +226,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true",
         help="suppress the progress/ETA lines on stderr",
     )
+    _add_cache_max_size_flag(sweep)
     _add_engine_flags(sweep)
+
+    cmp = sub.add_parser(
+        "compare",
+        help="run the paper's algorithms head-to-head against the "
+        "related-work baselines (greedy MDS on the line graph, LP "
+        "rounding, forest decomposition, exact optimum) and print a "
+        "side-by-side ratio/rounds/messages table",
+    )
+    cmp.add_argument(
+        "--families", type=_str_list, default=COMPARE_FAMILIES,
+        help="graph families to compare on (default: regular,bounded)",
+    )
+    cmp.add_argument(
+        "--degrees", type=_int_list, default=(3, 4, 5),
+        help="degree axis, e.g. 3,4,5",
+    )
+    cmp.add_argument(
+        "--sizes", type=_int_list, default=(12, 16),
+        help="size axis (keep within the exact-optimum limit)",
+    )
+    cmp.add_argument(
+        "--seeds", type=int, default=2,
+        help="random instances per grid cell",
+    )
+    cmp.add_argument(
+        "--algorithms", type=_str_list, default=None,
+        help="override the contenders, e.g. "
+        "port_one,greedy_mds_line,central_optimal "
+        f"(registered: {','.join(algorithm_names())})",
+    )
+    cmp.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the result records as canonical JSON lines",
+    )
+    cmp.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the progress/ETA lines on stderr",
+    )
+    _add_cache_max_size_flag(cmp)
+    _add_engine_flags(cmp)
+
+    plugins = sub.add_parser(
+        "plugins",
+        help="list third-party plugins discovered through the "
+        "'repro.plugins' entry-point group",
+    )
+    del plugins  # no extra flags
 
     cache = sub.add_parser(
         "cache", help="maintain the content-addressed result cache"
@@ -331,6 +406,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_messages(args)
     elif args.command == "sweep":
         return _run_sweep(args)
+    elif args.command == "compare":
+        return _run_compare(args)
+    elif args.command == "plugins":
+        from repro.plugins import format_plugins
+
+        print(format_plugins())
     elif args.command == "cache":
         return _run_cache(args)
     elif args.command == "verify":
@@ -390,6 +471,73 @@ def _run_messages(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_compare(args: argparse.Namespace) -> int:
+    """Run the paper-vs-baselines comparison and print the table.
+
+    The table goes to stdout and everything run-dependent (progress,
+    backend decision, cache accounting) to stderr, so the stdout bytes
+    are identical for every backend, worker count, and cache state.
+    """
+    unknown_families = set(args.families) - set(COMPARE_FAMILIES)
+    if unknown_families:
+        print(
+            f"ERROR: unknown comparison families "
+            f"{sorted(unknown_families)}; available: "
+            f"{','.join(COMPARE_FAMILIES)}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.algorithms is not None:
+        unknown = set(args.algorithms) - set(algorithm_names())
+        if unknown:
+            print(f"ERROR: unknown algorithms {sorted(unknown)}",
+                  file=sys.stderr)
+            return 2
+    try:
+        cache_max = _cache_max_bytes(args)
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
+
+    units = comparison_units(
+        args.families, args.degrees, args.sizes, args.seeds,
+        algorithms=args.algorithms,
+    )
+    if not units:
+        print("ERROR: the grid expanded to zero feasible work units",
+              file=sys.stderr)
+        return 2
+    cache = _engine_cache(args)
+    outcome = run_comparison(
+        args.families, args.degrees, args.sizes, args.seeds,
+        algorithms=args.algorithms,
+        units=units,
+        workers=max(1, args.workers),
+        cache=cache,
+        backend=args.backend,
+        cache_max_size=cache_max,
+        progress=(
+            None if args.quiet
+            else ProgressPrinter(len(units), label="compare")
+        ),
+        jsonl=args.jsonl,
+    )
+    print(format_comparison(outcome.rows))
+    report = outcome.execution
+    print(report.backend_line(), file=sys.stderr)
+    if cache is not None:
+        print(f"{report.cache_line()} [dir: {args.cache_dir}]",
+              file=sys.stderr)
+        if report.gc is not None:
+            print(report.gc_line(), file=sys.stderr)
+    else:
+        print("cache: disabled", file=sys.stderr)
+    if args.jsonl:
+        print(f"wrote {len(report.store)} records to {args.jsonl}",
+              file=sys.stderr)
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     """Expand a scenario grid and run it through the experiment engine."""
     scenario = get_scenario(args.scenario)
@@ -422,6 +570,11 @@ def _run_sweep(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
+    try:
+        cache_max = _cache_max_bytes(args)
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
     cache = _engine_cache(args)
     progress = (
         None if args.quiet
@@ -429,7 +582,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
     )
     report = api.run_sweep(
         units, workers=max(1, args.workers), cache=cache, progress=progress,
-        backend=args.backend,
+        backend=args.backend, cache_max_size=cache_max,
     )
     print(report.store.format_summary(
         title=f"sweep '{scenario.name}' — {len(units)} work units"
@@ -437,6 +590,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
     print(report.backend_line())
     if cache is not None:
         print(f"{report.cache_line()} [dir: {args.cache_dir}]")
+        if report.gc is not None:
+            print(report.gc_line())
     else:
         print("cache: disabled")
     if args.jsonl:

@@ -80,12 +80,59 @@ class AutoBackend(ExecutionBackend):
         self._resolved = resolved
         self.decision = decision
 
+    def _measure_hint(self, pending: Sequence[tuple[int, "JobSpec"]]) -> str:
+        """The units' unanimous scheduling hint, or ``""`` if mixed/none.
+
+        Measures that know their units' cost profile advertise it via
+        :attr:`~repro.registry.measures.Measure.preferred_backend`
+        (e.g. ``comparison`` grids of tiny units hint ``inline``); a
+        unanimous hint replaces calibration entirely.
+        """
+        from repro.registry.measures import get_measure
+
+        hints = {
+            get_measure(spec.measure).preferred_backend
+            for _, spec in pending
+        }
+        if len(hints) == 1:
+            return next(iter(hints))
+        return ""
+
     def run(
         self, pending: Sequence[tuple[int, "JobSpec"]]
     ) -> Iterator[tuple[int, "ResultRecord"]]:
         from repro.engine.executor import execute_unit
 
         pending = list(pending)
+        hint = self._measure_hint(pending) if pending else ""
+        if hint == "inline":
+            self._commit(
+                "inline",
+                f"measure hint: all {len(pending)} unit(s) prefer inline "
+                "— calibration skipped",
+            )
+            if self.workers <= 1:
+                for index, spec in pending:
+                    yield index, execute_unit(spec)
+            else:
+                # The hint skips the probe, not the safety net: a unit
+                # that itself clears the threshold still re-escalates.
+                yield from self._inline_provisional(pending)
+            return
+        if hint in ("process", "thread") and self.workers > 1:
+            if hint == "thread":
+                from repro.engine.backends.thread import ThreadBackend
+
+                fanout: ExecutionBackend = ThreadBackend(self.workers)
+            else:
+                fanout = self.fanout
+            self._commit(
+                fanout.describe(),
+                f"measure hint: all {len(pending)} unit(s) prefer "
+                f"{hint} — fanning out without calibration",
+            )
+            yield from fanout.run(pending)
+            return
         if self.workers <= 1 or len(pending) <= self.probe + 1:
             self._commit(
                 "inline",
@@ -126,6 +173,15 @@ class AutoBackend(ExecutionBackend):
         )
         # Provisional: grids ordered cheapest-first would otherwise fool
         # the probe, so the first genuinely slow unit re-escalates.
+        yield from self._inline_provisional(remainder)
+
+    def _inline_provisional(
+        self, remainder: Sequence[tuple[int, "JobSpec"]]
+    ) -> Iterator[tuple[int, "ResultRecord"]]:
+        """Inline execution, every unit on the clock; the first unit
+        that itself clears the threshold re-escalates the rest."""
+        from repro.engine.executor import execute_unit
+
         for position, (index, spec) in enumerate(remainder):
             started = self.clock()
             record = execute_unit(spec)

@@ -193,6 +193,19 @@ class ResultCache:
                 pass
             raise
 
+    def touch(self, key: str) -> None:
+        """Refresh *key*'s mtime so write-age LRU treats it as fresh.
+
+        A plain ``get`` deliberately does not refresh mtime; callers
+        that are about to run a size-capped :meth:`gc` touch the keys
+        the current sweep used (hits included), so "this run's records
+        are evicted last" holds even for fully warm runs.
+        """
+        try:
+            os.utime(self.path_for(key))
+        except OSError:
+            pass
+
     def keys(self) -> Iterator[str]:
         if not self.root.is_dir():
             return

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, TextIO
 
 from repro.engine.backends.base import ExecutionBackend, resolve_backend
-from repro.engine.cache import ResultCache, cache_key
+from repro.engine.cache import GcReport, ResultCache, cache_key
 from repro.engine.records import ResultRecord, ResultStore
 from repro.engine.spec import JobSpec
 from repro.registry.measures import get_measure
@@ -107,6 +107,8 @@ class ExecutionReport:
     backend: str = "inline"
     #: The calibration note for backends that decide at run time.
     calibration: str = ""
+    #: The post-sweep cache eviction outcome, when a size cap was set.
+    gc: GcReport | None = None
 
     @property
     def records(self) -> list[ResultRecord]:
@@ -132,6 +134,11 @@ class ExecutionReport:
             line += f" [{self.calibration}]"
         return line
 
+    def gc_line(self) -> str:
+        if self.gc is None:
+            return "cache gc: not requested"
+        return f"cache gc: {self.gc.format()}"
+
 
 def run_units(
     units: Iterable[JobSpec],
@@ -140,6 +147,7 @@ def run_units(
     cache: ResultCache | None = None,
     progress: Callable[[int, int], None] | None = None,
     backend: ExecutionBackend | str | None = None,
+    cache_max_bytes: int | None = None,
 ) -> ExecutionReport:
     """Execute *units*, in order, and return their records.
 
@@ -150,6 +158,12 @@ def run_units(
     ``"auto"`` default.  Results are reassembled into submission order,
     so the returned records are identical for every backend and worker
     count.
+
+    *cache_max_bytes* is the opt-in gc automation: after execution the
+    cache is evicted down to the cap with :meth:`ResultCache.gc` —
+    write-age LRU, with every key this run used (cache hits included)
+    refreshed first, so this run's records are the last to go.  The
+    eviction outcome is reported on :attr:`ExecutionReport.gc`.
     """
     units = list(units)
     keys = [cache_key(unit) for unit in units]
@@ -175,6 +189,15 @@ def run_units(
         if progress is not None:
             progress(done, hits)
 
+    gc_report = None
+    if cache is not None and cache_max_bytes is not None:
+        # Cache hits don't refresh mtime, so a fully warm sweep's records
+        # would otherwise be the *oldest* and evicted first.  Touch every
+        # key this run used before evicting by write-age LRU.
+        for key in keys:
+            cache.touch(key)
+        gc_report = cache.gc(max_bytes=cache_max_bytes)
+
     store = ResultStore(records[i] for i in range(len(units)))
     return ExecutionReport(
         store=store,
@@ -182,4 +205,5 @@ def run_units(
         computed=len(missing),
         backend=resolved.describe(),
         calibration=resolved.decision,
+        gc=gc_report,
     )

@@ -3,10 +3,13 @@
 :func:`default_execute` is the build → resolve → run → measure → record
 pipeline behind every measure that follows the plugin protocol
 (:meth:`~repro.registry.measures.Measure.measure` returning record-field
-overrides).  The four built-ins registered here are
+overrides).  The built-ins registered here are
 
 * ``quality`` — feasibility + approximation ratio against a chosen
   optimum policy (the workhorse of the sweeps);
+* ``comparison`` — quality plus a traced message count in one unit;
+  the measure of ``repro-eds compare`` grids, hinting ``inline``
+  scheduling to the auto backend;
 * ``messages`` — message-complexity profiling via a traced run;
 * ``adversary`` — the Table 1 tightness confrontation on a lower-bound
   construction (custom execution);
@@ -39,6 +42,7 @@ from repro.registry.measures import AlgorithmRun, Measure, register_measure
 
 __all__ = [
     "AdversaryMeasure",
+    "ComparisonMeasure",
     "MessagesMeasure",
     "PhaseSplitMeasure",
     "QualityMeasure",
@@ -171,6 +175,37 @@ class QualityMeasure(Measure):
                 overrides["messages"] = run.trace.total_messages
             elif run.algorithm.model == "central":
                 overrides["messages"] = 0
+        return overrides
+
+
+@register_measure
+class ComparisonMeasure(QualityMeasure):
+    """The head-to-head measure behind ``repro-eds compare``.
+
+    Everything :class:`QualityMeasure` reports — feasibility, exact-
+    fraction ratio against the unit's optimum policy — plus the message
+    count from a traced run, so one unit yields all three comparison
+    axes (ratio, rounds, messages) for paper algorithms and baselines
+    alike.  Comparison grids are tiny by design (the exact optimum must
+    stay affordable), so the measure advertises ``preferred_backend =
+    "inline"`` and the ``auto`` backend skips pool calibration
+    entirely.
+    """
+
+    name = "comparison"
+    preferred_backend = "inline"
+
+    def needs_trace(self, spec: JobSpec) -> bool:
+        return True
+
+    def measure(
+        self, graph: PortNumberedGraph, run: AlgorithmRun
+    ) -> dict[str, Any]:
+        overrides = dict(super().measure(graph, run))
+        if run.trace is not None:
+            overrides["messages"] = run.trace.total_messages
+        elif run.algorithm.model == "central":
+            overrides["messages"] = 0
         return overrides
 
 

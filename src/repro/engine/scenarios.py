@@ -3,7 +3,9 @@
 ``default`` is small enough for a laptop smoke run; ``large-regular`` is
 the grid the sequential harness could never finish — random regular
 graphs with d ∈ {2..10} and n up to 2048, ten seeds per cell — and is
-only practical through the engine's sharded executor and cache.
+only practical through the engine's sharded executor and cache;
+``comparison`` is the regular-family half of the ``repro-eds compare``
+head-to-head (paper algorithms vs the :mod:`repro.baselines` family).
 """
 
 from __future__ import annotations
@@ -40,6 +42,24 @@ SCENARIOS: dict[str, SweepGrid] = {
         degrees=(3, 4, 5),
         sizes=(16, 32, 64),
         seeds=5,
+        optimum="auto",
+    ),
+    # Paper algorithms vs the repro.baselines comparison family, one
+    # ratio/rounds/messages unit per cell; `repro-eds compare` runs this
+    # grid over two graph families.  Sizes stay under the exact-optimum
+    # limit so every ratio is against the true optimum.
+    "comparison": SweepGrid(
+        name="comparison",
+        algorithms=(
+            "port_one", "regular_odd", "bounded_degree",
+            "greedy_mds_line", "lp_rounding", "forest_dds",
+            "central_optimal",
+        ),
+        family="regular",
+        degrees=(3, 4, 5),
+        sizes=(12, 16),
+        seeds=2,
+        measure="comparison",
         optimum="auto",
     ),
 }

@@ -1,10 +1,18 @@
 """Experiment drivers reproducing the paper's Table 1 and Figures 1-9,
-plus round-complexity, average-case, and ablation studies."""
+plus round-complexity, average-case, ablation, and related-work
+comparison studies."""
 
 from repro.experiments.ablation import (
     AblationRow,
     format_ablations,
     run_ablations,
+)
+from repro.experiments.compare import (
+    CompareRow,
+    ComparisonOutcome,
+    comparison_units,
+    format_comparison,
+    run_comparison,
 )
 from repro.experiments.figures import FigureArtifact, all_figures
 from repro.experiments.messages import (
@@ -27,6 +35,11 @@ from repro.experiments.optimality import (
 from repro.experiments.table1 import Table1Row, format_table1, reproduce_table1
 
 __all__ = [
+    "CompareRow",
+    "ComparisonOutcome",
+    "comparison_units",
+    "format_comparison",
+    "run_comparison",
     "OptimalityRow",
     "recompute_lower_bounds",
     "format_optimality",

@@ -1,0 +1,205 @@
+"""Experiment E18: paper algorithms vs related-work baselines.
+
+``repro-eds compare`` answers the question the paper's tables leave
+open: how do Suomela's anonymous constant-time algorithms stack up
+against the other distributed approaches on the *same* instances?  The
+contenders come from :mod:`repro.baselines` — span-greedy MDS on the
+line graph, LP rounding, the forest-decomposition adaptation, and the
+sequential exact optimum — but nothing here is hard-wired to that list:
+any registered algorithm name can join the grid, including ones a
+third-party package registered through ``repro.plugins`` entry points.
+
+Every (family, degree, size, seed, algorithm) cell is one engine work
+unit with the ``comparison`` measure, which reports the exact-fraction
+ratio, the round count, and the traced message count in a single
+record.  The grid runs over at least two graph families (random
+regular and bounded-degree by default) and keeps sizes under the exact
+solver's edge limit, so ratios compare against the true optimum.  The
+output table is a pure function of the result records — byte-identical
+across execution backends, worker counts, and cached re-runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.report import format_table
+from repro.api import CacheLike, run_sweep
+from repro.engine.executor import ExecutionReport
+from repro.engine.records import ResultRecord
+from repro.engine.scenarios import get_scenario
+from repro.engine.spec import JobSpec
+from repro.registry import MODELS, get_algorithm
+
+__all__ = [
+    "COMPARE_ALGORITHMS",
+    "COMPARE_FAMILIES",
+    "CompareRow",
+    "ComparisonOutcome",
+    "comparison_units",
+    "format_comparison",
+    "run_comparison",
+]
+
+#: The default head-to-head field: the paper's three algorithms against
+#: the four related-work baselines — the single source of truth is the
+#: ``comparison`` scenario, so ``repro-eds sweep --scenario comparison``
+#: can never drift from ``repro-eds compare``.
+COMPARE_ALGORITHMS = get_scenario("comparison").algorithms
+
+#: The grid families the comparison runs over (both SweepGrid-capable).
+COMPARE_FAMILIES = ("regular", "bounded")
+
+
+def comparison_units(
+    families: Sequence[str] = COMPARE_FAMILIES,
+    degrees: Sequence[int] = (3, 4, 5),
+    sizes: Sequence[int] = (12, 16),
+    seeds: int = 2,
+    *,
+    algorithms: Sequence[str] | None = None,
+    base_seed: int = 0,
+) -> list[JobSpec]:
+    """Expand the head-to-head grid: one ``comparison`` unit per cell.
+
+    Each family expands by overriding the ``comparison`` scenario grid
+    — same grid name, so per-cell graph seeds (which derive from the
+    grid name, family, and coordinates) are identical to a
+    ``repro-eds sweep --scenario comparison`` run: the same cell
+    anywhere in the harness shares the same cache entry.
+    """
+    base = get_scenario("comparison")
+    units: list[JobSpec] = []
+    for family in families:
+        grid = base.override(
+            family=family,
+            degrees=tuple(degrees),
+            sizes=tuple(sizes),
+            seeds=seeds,
+            base_seed=base_seed,
+            # None means the scenario's contenders; an explicitly empty
+            # sequence stays empty (and expands to zero units).
+            **({} if algorithms is None
+               else {"algorithms": tuple(algorithms)}),
+        )
+        units.extend(grid.expand())
+    return units
+
+
+@dataclass(frozen=True)
+class CompareRow:
+    """One (family, algorithm) aggregate of the comparison table."""
+
+    family: str
+    algorithm: str
+    model: str
+    units: int
+    mean_ratio: float
+    max_ratio: float
+    mean_rounds: float
+    mean_messages: float
+
+
+def comparison_rows(records: Sequence[ResultRecord]) -> list[CompareRow]:
+    """Aggregate result records into per-(family, algorithm) rows.
+
+    Row order is presentation order: family, then model in the
+    catalogue's order (anonymous → identified → randomized → central —
+    the paper's algorithms lead, the sequential reference anchors), then
+    name — all deterministic.
+    """
+    grouped: dict[tuple[str, str], list[ResultRecord]] = {}
+    for record in records:
+        grouped.setdefault(
+            (record.graph_family, record.algorithm), []
+        ).append(record)
+    rows = []
+    for (family, algorithm), cells in grouped.items():
+        ratios = [r.ratio for r in cells if r.has_optimum]
+        rows.append(CompareRow(
+            family=family,
+            algorithm=algorithm,
+            model=get_algorithm(algorithm).model,
+            units=len(cells),
+            mean_ratio=float(sum(ratios) / len(ratios)) if ratios else 0.0,
+            max_ratio=float(max(ratios)) if ratios else 0.0,
+            mean_rounds=sum(r.rounds for r in cells) / len(cells),
+            mean_messages=sum(r.messages or 0 for r in cells) / len(cells),
+        ))
+    rows.sort(key=lambda row: (
+        row.family, MODELS.index(row.model), row.algorithm
+    ))
+    return rows
+
+
+def format_comparison(rows: Sequence[CompareRow]) -> str:
+    """Render the side-by-side comparison table."""
+    return format_table(
+        ["family", "algorithm", "model", "units",
+         "mean ratio", "max ratio", "mean rounds", "mean msgs"],
+        [
+            (
+                row.family,
+                row.algorithm,
+                row.model,
+                row.units,
+                f"{row.mean_ratio:.4f}",
+                f"{row.max_ratio:.4f}",
+                f"{row.mean_rounds:.1f}",
+                f"{row.mean_messages:.1f}",
+            )
+            for row in rows
+        ],
+        title="paper algorithms vs related-work baselines (E18)",
+    )
+
+
+@dataclass
+class ComparisonOutcome:
+    """Everything one comparison run produced."""
+
+    units: list[JobSpec]
+    execution: ExecutionReport
+    rows: list[CompareRow]
+
+    def format(self) -> str:
+        return format_comparison(self.rows)
+
+
+def run_comparison(
+    families: Sequence[str] = COMPARE_FAMILIES,
+    degrees: Sequence[int] = (3, 4, 5),
+    sizes: Sequence[int] = (12, 16),
+    seeds: int = 2,
+    *,
+    algorithms: Sequence[str] | None = None,
+    base_seed: int = 0,
+    units: "list[JobSpec] | None" = None,
+    workers: int = 1,
+    cache: CacheLike = None,
+    backend: str | None = None,
+    cache_max_size: int | str | None = None,
+    progress=None,
+    jsonl=None,
+) -> ComparisonOutcome:
+    """Run the head-to-head comparison through the engine.
+
+    Pass pre-expanded *units* (from :func:`comparison_units`) to skip
+    re-expansion — the CLI does this to size its progress meter without
+    expanding the grid twice.
+    """
+    if units is None:
+        units = comparison_units(
+            families, degrees, sizes, seeds,
+            algorithms=algorithms, base_seed=base_seed,
+        )
+    report = run_sweep(
+        units, workers=workers, cache=cache, backend=backend,
+        cache_max_size=cache_max_size, progress=progress, jsonl=jsonl,
+    )
+    return ComparisonOutcome(
+        units=units,
+        execution=report,
+        rows=comparison_rows(report.records),
+    )

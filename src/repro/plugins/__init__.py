@@ -1,0 +1,29 @@
+"""repro.plugins — entry-point discovery for third-party packages.
+
+Any installed distribution can contribute algorithms, graph families,
+and measures to the registry catalogue without touching this repo: it
+declares an entry point in the ``repro.plugins`` group, and the
+registry's lazy built-in loader discovers and loads it on the first
+name lookup in any process — the CLI, the API façade, and (crucially)
+freshly spawned ``ProcessBackend`` workers all see the same catalogue.
+
+See :mod:`repro.plugins.discovery` for the loading contract (ordering,
+duplicate rejection, error isolation) and the README's "Writing a
+plugin package" walkthrough for a complete example.
+"""
+
+from repro.plugins.discovery import (
+    PLUGIN_GROUP,
+    PluginRecord,
+    format_plugins,
+    load_plugins,
+    plugin_records,
+)
+
+__all__ = [
+    "PLUGIN_GROUP",
+    "PluginRecord",
+    "format_plugins",
+    "load_plugins",
+    "plugin_records",
+]

@@ -1,0 +1,167 @@
+"""Entry-point plugin discovery (``importlib.metadata``).
+
+A plugin package ships an entry point in the ``repro.plugins`` group::
+
+    # pyproject.toml of a third-party distribution
+    [project.entry-points."repro.plugins"]
+    my_plugin = "my_package.eds_plugin"
+
+The entry point names either a module (imported for its registration
+side effects, exactly like the built-ins) or a callable (imported and
+then called with no arguments).  Registration itself goes through the
+public :mod:`repro.registry` decorators, so a plugin algorithm is
+indistinguishable from a built-in: addressable from work units, cached,
+spawn-safe (its ``origin`` module rides along in worker payloads), and
+listed by the CLI.
+
+The loading contract:
+
+* **Load order** is deterministic: entry points load sorted by
+  ``(name, value)``, never in filesystem-discovery order.
+* **Duplicate names are rejected**: if two distributions claim the same
+  entry-point name, the first (in load order) wins and the rest are
+  skipped with a logged warning — mirroring the registry's own
+  duplicate policy.
+* **Errors are isolated**: a plugin that fails to import (or whose
+  registrations collide with existing names) is logged and skipped;
+  it can never take down the CLI or an engine run.  The failure stays
+  visible in :func:`plugin_records` / ``repro-eds plugins``.
+* **Idempotent per process**: :func:`load_plugins` runs the scan once
+  and caches the outcome; ``reload=True`` (tests, long-lived sessions
+  installing packages on the fly) rescans from scratch.
+
+Discovery is hooked into :func:`repro.registry.base.load_builtins`, so
+it happens lazily on the first registry lookup *in every process*.
+That is what makes plugins spawn-safe end to end: a fresh
+``ProcessBackend`` worker interpreter re-runs the scan the moment it
+resolves its first work-unit name, and the worker payloads additionally
+carry each plugin's registering module for direct re-import.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from importlib import metadata
+
+from repro.analysis.report import format_table
+
+__all__ = [
+    "PLUGIN_GROUP",
+    "PluginRecord",
+    "format_plugins",
+    "load_plugins",
+    "plugin_records",
+]
+
+#: The entry-point group third-party distributions register under.
+PLUGIN_GROUP = "repro.plugins"
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class PluginRecord:
+    """The outcome of loading one discovered entry point."""
+
+    name: str
+    value: str  # the entry point target, e.g. "my_package.eds_plugin"
+    error: str = ""  # empty on success
+
+    @property
+    def loaded(self) -> bool:
+        return not self.error
+
+    @property
+    def status(self) -> str:
+        return "loaded" if self.loaded else f"skipped ({self.error})"
+
+
+#: Cached scan outcomes, one per entry-point group.
+_records: dict[str, tuple[PluginRecord, ...]] = {}
+_loading = False
+
+
+def _scan(group: str) -> tuple[PluginRecord, ...]:
+    try:
+        entry_points = sorted(
+            metadata.entry_points(group=group),
+            key=lambda ep: (ep.name, ep.value),
+        )
+    except Exception as exc:  # pragma: no cover - defensive: bad metadata
+        logger.warning("plugin discovery failed: %s", exc)
+        return ()
+    records: list[PluginRecord] = []
+    seen: set[str] = set()
+    for entry_point in entry_points:
+        if entry_point.name in seen:
+            records.append(PluginRecord(
+                entry_point.name, entry_point.value,
+                error="duplicate plugin name",
+            ))
+            logger.warning(
+                "plugin %r (%s) skipped: duplicate plugin name",
+                entry_point.name, entry_point.value,
+            )
+            continue
+        seen.add(entry_point.name)
+        try:
+            target = entry_point.load()
+            # A callable target is a registration hook; a module target
+            # registered during the import itself.
+            if callable(target):
+                target()
+        except Exception as exc:
+            records.append(PluginRecord(
+                entry_point.name, entry_point.value,
+                error=f"{type(exc).__name__}: {exc}",
+            ))
+            logger.warning(
+                "plugin %r (%s) failed to load and was skipped: %s",
+                entry_point.name, entry_point.value, exc,
+            )
+            continue
+        records.append(PluginRecord(entry_point.name, entry_point.value))
+    return tuple(records)
+
+
+def load_plugins(
+    *, group: str = PLUGIN_GROUP, reload: bool = False
+) -> tuple[PluginRecord, ...]:
+    """Discover and load ``repro.plugins`` entry points (once).
+
+    Returns one :class:`PluginRecord` per discovered entry point, in
+    load order.  Safe to call from anywhere — including from inside the
+    registry's lazy loader while a registration is in flight — and
+    guaranteed never to raise for a misbehaving plugin.
+    """
+    global _loading
+    if _loading:
+        return ()
+    if group in _records and not reload:
+        return _records[group]
+    _loading = True
+    try:
+        _records[group] = _scan(group)
+    finally:
+        _loading = False
+    return _records[group]
+
+
+def plugin_records() -> tuple[PluginRecord, ...]:
+    """The records of the (possibly not yet run) plugin scan."""
+    return load_plugins()
+
+
+def format_plugins(records: "tuple[PluginRecord, ...] | None" = None) -> str:
+    """Render plugin records as the ``repro-eds plugins`` table."""
+    records = plugin_records() if records is None else records
+    if not records:
+        return (
+            f"no plugins discovered (entry-point group {PLUGIN_GROUP!r})"
+        )
+    return format_table(
+        ["plugin", "target", "status"],
+        [(r.name, r.value, r.status) for r in records],
+        title=f"entry-point plugins ({PLUGIN_GROUP})",
+    )

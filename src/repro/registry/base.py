@@ -155,6 +155,13 @@ def load_builtins() -> None:
 
     Shared by all three registries: the built-in algorithms, graph
     families, and measures form one coherent catalogue, so the first
-    lookup in any registry makes the whole catalogue available.
+    lookup in any registry makes the whole catalogue available.  After
+    the built-ins, third-party entry-point plugins load through
+    :func:`repro.plugins.load_plugins` — lazily rediscovered in every
+    process (spawned pool workers included), error-isolated so a broken
+    plugin can never poison the catalogue.
     """
     import repro.registry.builtins  # noqa: F401  (import is the effect)
+    from repro.plugins import load_plugins
+
+    load_plugins()

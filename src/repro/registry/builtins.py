@@ -18,6 +18,7 @@ catalogue costs nothing until a name is actually resolved.
 from __future__ import annotations
 
 import repro.algorithms  # noqa: F401  (import side effect: registrations)
+import repro.baselines  # noqa: F401  (import side effect: baselines)
 import repro.engine.figures  # noqa: F401  (import side effect: figures)
 import repro.engine.measures  # noqa: F401  (import side effect: measures)
 from repro.eds.greedy import two_approx_eds

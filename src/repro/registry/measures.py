@@ -20,8 +20,9 @@ measures that need full control of execution (the adversary
 confrontation, the phase split) override :meth:`Measure.execute`
 instead.
 
-Built-ins — ``quality``, ``adversary``, ``phase_split``, ``messages`` —
-are registered in :mod:`repro.engine.measures`.
+Built-ins — ``quality``, ``comparison``, ``adversary``,
+``phase_split``, ``messages`` — are registered in
+:mod:`repro.engine.measures`.
 """
 
 from __future__ import annotations
@@ -82,6 +83,12 @@ class Measure:
     #: that regenerate fixed artifacts (the figure reproductions) opt
     #: out, so their units need no registered algorithm.
     uses_algorithm: bool = True
+    #: Scheduling hint consulted by the ``auto`` backend: ``""`` (no
+    #: preference — calibrate as usual), ``"inline"`` (units are known
+    #: to be cheap; skip the probe and stay serial), or ``"process"`` /
+    #: ``"thread"`` (units are known to be expensive; fan out at once).
+    #: A hint never changes results — records depend only on specs.
+    preferred_backend: str = ""
 
     def needs_trace(self, spec: "JobSpec") -> bool:
         """Whether this unit must run with message tracing enabled."""
