@@ -1,7 +1,7 @@
 """Execution-backend smoke: inline must beat process fan-out on tiny units.
 
 Pool startup is a fixed tax (interpreter spawn + catalogue reload per
-worker); on a grid of sub-10 ms units it dominates the whole run, which
+worker); on a grid of sub-5 ms units it dominates the whole run, which
 is exactly why the engine grew an inline backend and the ``auto``
 calibrator.  Each benchmark times one backend over the same tiny grid
 and asserts the determinism contract (identical records everywhere).
@@ -25,7 +25,7 @@ TINY = SweepGrid(
     degrees=(2, 3),
     sizes=(12, 16),
     seeds=2,
-    optimum="none",  # keep units well under 10 ms
+    optimum="none",  # keep units well under the 5 ms threshold
 )
 
 BASELINE = [r.canonical() for r in run_sweep(TINY, backend="inline").records]
@@ -41,7 +41,7 @@ def test_backend(benchmark, backend):
 
 
 def test_inline_beats_process_on_tiny_units():
-    """The ISSUE acceptance criterion, measured: on a sub-10 ms/unit
+    """The ISSUE acceptance criterion, measured: on a sub-5 ms/unit
     grid, pool startup makes the process backend strictly slower than
     zero-overhead serial execution."""
     timings = {}

@@ -70,7 +70,7 @@ def test_baseline_units_engine_cacheable(tmp_path_factory):
 
 
 #: The hint-benchmark grid: no exact optima, no exact-solver contender,
-#: so every unit is genuinely tiny (well under the 10 ms threshold).
+#: so every unit is genuinely tiny (well under the 5 ms threshold).
 TINY_COMPARISON_GRID = COMPARISON_GRID.override(
     name="bench-baselines-tiny",
     algorithms=("greedy_mds_line", "lp_rounding", "forest_dds"),

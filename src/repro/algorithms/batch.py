@@ -1,0 +1,882 @@
+"""Batch-stepping implementations of the paper's deterministic algorithms.
+
+Each class here is the all-nodes-at-once counterpart of one per-node
+program from this package, plugged into the compiled scheduler through
+the :class:`~repro.runtime.batch.BatchProgram` protocol.  They advance
+every node in one ``step_all`` call per round over flat arrays — no
+per-node method dispatch, no per-node inbox mappings — and they are
+**observationally identical** to the per-node programs: same outputs,
+same round counts, and the same messages in the same order, which the
+differential suite (``tests/test_runtime_compiled.py``) asserts across
+the full graph-family matrix.
+
+Fidelity rules the implementations follow:
+
+* sends are emitted in ascending node order, and within a node in the
+  iteration order of the per-node program's send mapping (which for
+  every algorithm here is ascending port order — including proposal
+  responses, whose accepted port is always the smallest pending);
+* a batch program may *know* the graph (it is an execution strategy,
+  not a model extension), so setup quantities the per-node programs
+  learn by messaging — peer port numbers, peer degrees, distinguishable
+  edges — are precomputed from the compiled involution, but the setup
+  **messages themselves are still sent** so traces and message counts
+  are unchanged;
+* per-node schedule arithmetic (which depends only on degrees and the
+  promised Δ) is mirrored exactly, so nodes halt in the same rounds
+  even on graphs outside an algorithm's contract.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.algorithms.base import pair_at
+from repro.exceptions import AlgorithmContractError, SimulationError
+from repro.portgraph.graph import PortNumberedGraph
+from repro.runtime.batch import ABSENT, BatchProgram
+
+__all__ = [
+    "BatchAllEdges",
+    "BatchBoundedDegree",
+    "BatchDoubleCover",
+    "BatchGreedyMatchingIds",
+    "BatchLabelAware",
+    "BatchPortOne",
+    "BatchRegularOdd",
+]
+
+
+class BatchPortOne(BatchProgram):
+    """Theorem 3, batched: one send round, then every node halts.
+
+    Round 0 is total — every degree-positive node is running and sends
+    on every port — so both the send list and the resulting outputs are
+    pure functions of the involution and are precomputed (memoised on
+    the compiled graph; repeated runs reuse them); the messages are
+    still routed, so traces and counts are unchanged.
+    """
+
+    __slots__ = ("_sends", "_outputs")
+
+    def __init__(self, graph: PortNumberedGraph) -> None:
+        super().__init__(graph)
+        cg = self.cg
+        self.total_send_rounds = frozenset((0,))
+        try:
+            self._sends, self._outputs = cg.memo["port_one"]
+            return
+        except KeyError:
+            pass
+        offsets = cg.offsets
+        mate = cg.mate
+        port_node = cg.port_node
+        sends: list[tuple[int, object]] = []
+        outputs: list[frozenset[int]] = []
+        for k in range(cg.num_nodes):
+            base = offsets[k]
+            degree = cg.degrees[k]
+            selected = set()
+            for i in range(1, degree + 1):
+                g = base + i - 1
+                sends.append((g, i))
+                peer = mate[g]
+                if i == 1 or peer - offsets[port_node[peer]] == 0:
+                    selected.add(i)
+            outputs.append(frozenset(selected))
+        self._sends = sends
+        self._outputs = outputs
+        cg.memo["port_one"] = (sends, outputs)
+
+    def send_all(self, rnd):
+        return self._sends
+
+    def receive_all(self, rnd, inbox):
+        running = self.running
+        outputs = self._outputs
+        for k in range(self.cg.num_nodes):
+            if running[k]:
+                self.halt_node(k, outputs[k])
+
+
+class BatchLabelAware(BatchProgram):
+    """Shared Section 5 setup for the Theorem 4/5 batch programs.
+
+    Precomputes, per node, the distinguishable port and the
+    ``pair → port`` table from the compiled involution, and emits the
+    two setup rounds' messages (``hello``, then ``dn``) exactly as
+    :class:`~repro.algorithms.base.LabelAwareProgram` would.
+    """
+
+    __slots__ = ("dn_port", "port_for_pair", "_hello_sends", "_dn_sends")
+
+    def __init__(self, graph: PortNumberedGraph) -> None:
+        super().__init__(graph)
+        cg = self.cg
+        self.total_send_rounds = frozenset((0, 1))
+        try:
+            (self.dn_port, self.port_for_pair,
+             self._hello_sends, self._dn_sends) = cg.memo["label_aware"]
+            return
+        except KeyError:
+            pass
+        offsets = cg.offsets
+        mate = cg.mate
+        port_node = cg.port_node
+        degrees = cg.degrees
+        n = cg.num_nodes
+        peer_local = cg.peer_local_list()
+
+        # Distinguishable port: the min-port uniquely labelled edge.
+        dn_port: list[int | None] = [None] * n
+        for k in range(n):
+            base = offsets[k]
+            pair_of = {
+                i: frozenset({i, peer_local[base + i - 1]})
+                for i in range(1, degrees[k] + 1)
+            }
+            multiplicity = Counter(pair_of.values())
+            for i in range(1, degrees[k] + 1):
+                if multiplicity[pair_of[i]] == 1:
+                    dn_port[k] = i
+                    break
+        self.dn_port = dn_port
+
+        # pair (i, j) → my port whose edge is in M(i, j); Lemma 2 says
+        # at most one per node, kept as an executable invariant.
+        port_for_pair: list[dict[tuple[int, int], int]] = []
+        for k in range(n):
+            base = offsets[k]
+            table: dict[tuple[int, int], int] = {}
+            for i in range(1, degrees[k] + 1):
+                g = base + i - 1
+                tags = []
+                if dn_port[k] == i:
+                    tags.append((i, peer_local[g]))
+                peer_k = port_node[mate[g]]
+                peer_i = peer_local[g]
+                if dn_port[peer_k] == peer_i:
+                    tags.append((peer_i, i))
+                for pair in tags:
+                    if pair in table and table[pair] != i:
+                        raise SimulationError(
+                            f"Lemma 2 violated: pair {pair} tags two "
+                            f"incident edges (ports {table[pair]} and {i})"
+                        )
+                    table[pair] = i
+            port_for_pair.append(table)
+        self.port_for_pair = port_for_pair
+
+        # Setup broadcasts are total (no label-aware program halts before
+        # its algorithm steps begin), so both rounds' send lists are
+        # precomputed and reused verbatim.
+        hello: list[tuple[int, object]] = []
+        dn_sends: list[tuple[int, object]] = []
+        for k in range(n):
+            base = offsets[k]
+            degree = degrees[k]
+            dn = dn_port[k]
+            for i in range(1, degree + 1):
+                hello.append((base + i - 1, ("hello", i, degree)))
+                dn_sends.append((base + i - 1, ("dn", i == dn)))
+        self._hello_sends = hello
+        self._dn_sends = dn_sends
+        cg.memo["label_aware"] = (
+            self.dn_port, self.port_for_pair, hello, dn_sends
+        )
+
+    def setup_sends(self, rnd) -> "list[tuple[int, object]]":
+        """The two setup rounds' messages (call for ``rnd`` 0 and 1)."""
+        return self._hello_sends if rnd == 0 else self._dn_sends
+
+
+class BatchRegularOdd(BatchLabelAware):
+    """Theorem 4, batched: the two-phase pair schedule over flat state.
+
+    A node is active in a pair step only when its ``pair → port`` table
+    selects a port — at most ``2·d`` of its ``2·d²`` steps.  The whole
+    step → participants schedule is therefore inverted once at
+    construction: each step carries only its active ``(node, port,
+    phase)`` triples (in node order, preserving canonical send order),
+    and the round loop never scans idle nodes.  Per-node degrees drive
+    per-node schedules, so the inversion is exact even on non-regular
+    graphs (outside the algorithm's contract, but the simulation — and
+    its halting pattern — must still match the per-node programs).
+    """
+
+    __slots__ = ("selected", "covered", "sched", "halt_at")
+
+    def __init__(self, graph: PortNumberedGraph) -> None:
+        super().__init__(graph)
+        cg = self.cg
+        n = cg.num_nodes
+        self.selected: list[set[int]] = [set() for _ in range(n)]
+        self.covered: list[bool] = [False] * n
+
+        try:
+            self.sched, self.halt_at = cg.memo["regular_odd"]
+            return
+        except KeyError:
+            pass
+        # step → [(node, port, phase)], node-ascending by construction
+        sched: dict[int, list[tuple[int, int, int]]] = {}
+        halt_at: dict[int, list[int]] = {}
+        for k in range(n):
+            d = cg.degrees[k]
+            if d == 0:
+                continue  # halted up front
+            for (i, j), port in self.port_for_pair[k].items():
+                if i > d or j > d:
+                    # A pair can name a *peer* port number beyond this
+                    # node's own degree; the node's d-bounded schedule
+                    # never reaches it (pair_at only emits [1, d]²).
+                    continue
+                step = (i - 1) * d + (j - 1)
+                sched.setdefault(step, []).append((k, port, 1))
+                sched.setdefault(step + d * d, []).append((k, port, 2))
+            halt_at.setdefault(2 * d * d - 1, []).append(k)
+        self.sched = sched
+        self.halt_at = halt_at
+        cg.memo["regular_odd"] = (sched, halt_at)
+
+    def send_all(self, rnd):
+        if rnd < 2:
+            return self.setup_sends(rnd)
+        sends: list[tuple[int, object]] = []
+        offsets = self.cg.offsets
+        running = self.running
+        selected = self.selected
+        covered = self.covered
+        for k, port, phase in self.sched.get(rnd - 2, ()):
+            if not running[k]:
+                continue
+            if phase == 1:
+                bit = covered[k]
+            else:
+                # phase II only processes edges of D ∩ M(i, j); the bit
+                # says whether this endpoint stays covered without it
+                if port not in selected[k]:
+                    continue
+                bit = len(selected[k]) > 1
+            sends.append((offsets[k] + port - 1, ("cov", bit)))
+        return sends
+
+    def receive_all(self, rnd, inbox):
+        if rnd < 2:
+            return
+        step = rnd - 2
+        offsets = self.cg.offsets
+        running = self.running
+        selected = self.selected
+        covered = self.covered
+        for k, port, phase in self.sched.get(step, ()):
+            if not running[k]:
+                continue
+            if phase == 2 and port not in selected[k]:
+                continue
+            payload = inbox[offsets[k] + port - 1]
+            if payload is ABSENT:
+                continue
+            peer_bit = payload[1]
+            if phase == 1:
+                # add the edge unless both endpoints are already covered
+                if not (covered[k] and peer_bit):
+                    selected[k].add(port)
+                    covered[k] = True
+            else:
+                # remove if both endpoints stay covered without the edge
+                if len(selected[k]) > 1 and peer_bit:
+                    selected[k].discard(port)
+        for k in self.halt_at.get(step, ()):
+            if running[k]:
+                self.halt_node(k, frozenset(selected[k]))
+
+
+class BatchAllEdges(BatchProgram):
+    """A(1), batched: silence, then every node outputs all its ports."""
+
+    __slots__ = ()
+
+    def send_all(self, rnd):
+        return []
+
+    def receive_all(self, rnd, inbox):
+        cg = self.cg
+        running = self.running
+        for k in range(cg.num_nodes):
+            if running[k]:
+                self.halt_node(k, frozenset(range(1, cg.degrees[k] + 1)))
+
+
+class BatchBoundedDegree(BatchLabelAware):
+    """Theorem 5's A(Δ'), batched (Δ' odd and ≥ 3).
+
+    The global schedule is a function of Δ' alone, so it is precomputed
+    once as a step → phase lookup table shared by every node.  The round
+    loop never scans idle nodes: phase I is inverted into a step →
+    participants schedule like :class:`BatchRegularOdd`; the phase
+    II/III proposal machinery keeps *active lists* — the proposers of
+    the current stage, and the nodes holding pending proposals (known
+    exactly, since the proposers' targets are one ``mate`` read away).
+    Full-graph passes happen only at stage boundaries and the final
+    halting step.
+    """
+
+    __slots__ = (
+        "delta",
+        "schedule",
+        "total_steps",
+        "m_port",
+        "p_ports",
+        "stage_queue",
+        "stage_index",
+        "stage_accepted",
+        "out_done",
+        "accepted_in",
+        "white_eligible",
+        "pending",
+        "pair_sched",
+        "_proposers",
+        "_pended",
+        "_phase3",
+    )
+
+    def __init__(
+        self, graph: PortNumberedGraph, max_degree: int, odd_delta: int
+    ) -> None:
+        for v in graph.nodes:
+            if graph.degree(v) > max_degree:
+                raise AlgorithmContractError(
+                    f"node degree {graph.degree(v)} exceeds promised bound "
+                    f"Δ = {max_degree}"
+                )
+        super().__init__(graph)
+        delta = odd_delta
+        self.delta = delta
+        n = self.cg.num_nodes
+
+        try:
+            self.schedule, self.pair_sched, broadcasts = (
+                self.cg.memo["bounded", delta]
+            )
+        except KeyError:
+            # step → ("I", pair) | ("II", stage, local) | ("III", local)
+            schedule: list[tuple] = []
+            for step in range(delta * delta):
+                schedule.append(("I", pair_at(step, delta)))
+            for stage in range(2, delta + 1):
+                for local in range(1 + 2 * stage):
+                    schedule.append(("II", stage, local))
+            for local in range(1 + 2 * delta):
+                schedule.append(("III", local))
+            self.schedule = schedule
+
+            # phase I inverted: step → [(node, port)], node-ascending
+            pair_sched: dict[int, list[tuple[int, int]]] = {}
+            for k in range(n):
+                for (i, j), port in self.port_for_pair[k].items():
+                    step = (i - 1) * delta + (j - 1)
+                    pair_sched.setdefault(step, []).append((k, port))
+            self.pair_sched = pair_sched
+
+            # stage/phase III kickoff broadcasts are total rounds
+            broadcasts = frozenset(
+                step + 2
+                for step, located in enumerate(schedule)
+                if located[0] != "I" and located[-1] == 0
+            )
+            self.cg.memo["bounded", delta] = (
+                schedule, pair_sched, broadcasts
+            )
+        self.total_steps = len(self.schedule)
+        self.total_send_rounds = self.total_send_rounds | broadcasts
+
+        self.m_port: list[int | None] = [None] * n
+        self.p_ports: list[set[int]] = [set() for _ in range(n)]
+        # Phase II/III proposal state.  ``stage_queue``/``stage_index``
+        # double as the phase III h-queue (the windows never overlap;
+        # ``_phase3`` says which interpretation is live).  Phase III
+        # needs two independent flags — a node there is proposer *and*
+        # acceptor at once: ``out_done`` ends its outgoing proposals,
+        # ``accepted_in`` its incoming acceptances.  Phase II nodes are
+        # black xor white, so ``stage_accepted`` serves both roles.
+        self.stage_queue: list[list[int]] = [[] for _ in range(n)]
+        self.stage_index = [0] * n
+        self.stage_accepted = [False] * n
+        self.out_done = [False] * n
+        self.accepted_in = [False] * n
+        self.white_eligible = [False] * n
+        self.pending: list[list[int]] = [[] for _ in range(n)]
+        self._proposers: list[int] = []
+        self._pended: list[int] = []
+        self._phase3 = False
+
+    def _peer_degree(self, k: int, port: int) -> int:
+        cg = self.cg
+        return cg.degrees[cg.port_node[cg.mate[cg.offsets[k] + port - 1]]]
+
+    # -- sending ----------------------------------------------------------
+
+    def _broadcast(self, tag: str) -> "list[tuple[int, object]]":
+        sends: list[tuple[int, object]] = []
+        cg = self.cg
+        offsets = cg.offsets
+        degrees = cg.degrees
+        m_port = self.m_port
+        for k in range(cg.num_nodes):
+            if not self.running[k]:
+                continue
+            base = offsets[k]
+            payload = (tag, m_port[k] is not None)
+            for i in range(1, degrees[k] + 1):
+                sends.append((base + i - 1, payload))
+        return sends
+
+    def _proposing(self, k: int) -> bool:
+        """Whether proposer *k* sends this propose round (mirrors the
+        per-node send conditions of phases II and III)."""
+        if self._phase3:
+            if self.out_done[k]:
+                return False
+        elif self.stage_accepted[k]:
+            return False
+        return self.stage_index[k] < len(self.stage_queue[k])
+
+    def _propose_sends(self) -> "list[tuple[int, object]]":
+        sends: list[tuple[int, object]] = []
+        offsets = self.cg.offsets
+        for k in self._proposers:
+            if self._proposing(k):
+                sends.append(
+                    (offsets[k] + self.stage_queue[k][self.stage_index[k]] - 1,
+                     ("prop",))
+                )
+        return sends
+
+    def _respond_sends(self) -> "list[tuple[int, object]]":
+        """Every node holding proposals replies; the smallest pending
+        port wins when the node is eligible to accept."""
+        sends: list[tuple[int, object]] = []
+        offsets = self.cg.offsets
+        phase3 = self._phase3
+        for k in self._pended:
+            if not self.pending[k]:
+                continue
+            base = offsets[k]
+            proposals = sorted(self.pending[k])
+            self.pending[k] = []
+            if phase3:
+                eligible = not self.accepted_in[k]
+            else:
+                eligible = self.white_eligible[k] and self.m_port[k] is None
+            if eligible:
+                winner = proposals[0]
+                sends.append((base + winner - 1, ("acc",)))
+                if phase3:
+                    self.p_ports[k].add(winner)
+                    self.accepted_in[k] = True
+                else:
+                    self.m_port[k] = winner
+                    self.stage_accepted[k] = True
+                losers = proposals[1:]
+            else:
+                losers = proposals
+            for port in losers:
+                sends.append((base + port - 1, ("rej",)))
+        self._pended = []
+        return sends
+
+    def send_all(self, rnd):
+        if rnd < 2:
+            return self.setup_sends(rnd)
+        located = self.schedule[rnd - 2]
+        kind = located[0]
+        if kind == "I":
+            sends: list[tuple[int, object]] = []
+            offsets = self.cg.offsets
+            m_port = self.m_port
+            for k, port in self.pair_sched.get(rnd - 2, ()):
+                sends.append(
+                    (offsets[k] + port - 1, ("mcov", m_port[k] is not None))
+                )
+            return sends
+        local = located[2] if kind == "II" else located[1]
+        if local == 0:
+            return self._broadcast("scov" if kind == "II" else "hcov")
+        if (local - 1) % 2 == 0:
+            return self._propose_sends()
+        return self._respond_sends()
+
+    # -- receiving --------------------------------------------------------
+
+    def _collect_pending(self) -> None:
+        """Pending proposals, read off the proposers' targets.
+
+        Equivalent to every node scanning its inbox for ``("prop",)``:
+        the only senders of that payload this round are the current
+        proposers, and each proposal's landing port is one ``mate``
+        lookup.  ``_pended`` is rebuilt node-ascending so the next
+        respond round replies in canonical order.
+        """
+        cg = self.cg
+        offsets = cg.offsets
+        mate = cg.mate
+        port_node = cg.port_node
+        pended = set()
+        for k in self._proposers:
+            if not self._proposing(k):
+                continue
+            queue = self.stage_queue[k]
+            target = mate[offsets[k] + queue[self.stage_index[k]] - 1]
+            tk = port_node[target]
+            if not self.running[tk]:
+                continue
+            self.pending[tk].append(target - offsets[tk] + 1)
+            pended.add(tk)
+        self._pended = sorted(pended)
+
+    def _read_responses(self, inbox) -> None:
+        offsets = self.cg.offsets
+        phase3 = self._phase3
+        for k in self._proposers:
+            if not self._proposing(k):
+                continue
+            queue = self.stage_queue[k]
+            port = queue[self.stage_index[k]]
+            reply = inbox[offsets[k] + port - 1]
+            if reply == ("acc",):
+                if phase3:
+                    self.p_ports[k].add(port)
+                    self.out_done[k] = True
+                else:
+                    self.m_port[k] = port
+                    self.stage_accepted[k] = True
+            elif reply == ("rej",):
+                self.stage_index[k] += 1
+                if phase3 and self.stage_index[k] >= len(queue):
+                    self.out_done[k] = True
+
+    def receive_all(self, rnd, inbox):
+        if rnd < 2:
+            return
+        step = rnd - 2
+        located = self.schedule[step]
+        kind = located[0]
+        if kind == "I":
+            m_port = self.m_port
+            offsets = self.cg.offsets
+            for k, port in self.pair_sched.get(step, ()):
+                payload = inbox[offsets[k] + port - 1]
+                # add to M iff *neither* endpoint is covered (§7 phase I)
+                if (
+                    payload is not ABSENT
+                    and m_port[k] is None
+                    and not payload[1]
+                ):
+                    m_port[k] = port
+        elif kind == "II":
+            stage, local = located[1], located[2]
+            if local == 0:
+                self._start_stage(stage, inbox)
+            elif (local - 1) % 2 == 0:
+                self._collect_pending()
+            else:
+                self._read_responses(inbox)
+        else:
+            local = located[1]
+            if local == 0:
+                self._start_h(inbox)
+            elif (local - 1) % 2 == 0:
+                self._collect_pending()
+            else:
+                self._read_responses(inbox)
+        if step + 1 >= self.total_steps:
+            for k in range(self.cg.num_nodes):
+                if not self.running[k]:
+                    continue
+                output = set(self.p_ports[k])
+                if self.m_port[k] is not None:
+                    output.add(self.m_port[k])
+                self.halt_node(k, frozenset(output))
+
+    def _start_stage(self, stage: int, inbox) -> None:
+        """Stage setup: reset the proposal state, cast roles.
+
+        White role: eligible to accept iff uncovered and degree < stage.
+        Black role: uncovered nodes of degree exactly *stage* propose to
+        uncovered smaller-degree neighbours, in increasing port order.
+        Only prospective blacks need their inbox scanned; every other
+        node's stage state is a pure reset (pendings are provably empty
+        between stages — every propose round is followed by a respond
+        round that consumes them).
+        """
+        cg = self.cg
+        offsets = cg.offsets
+        degrees = cg.degrees
+        self._phase3 = False
+        proposers = []
+        for k in range(cg.num_nodes):
+            degree = degrees[k]
+            uncovered = self.m_port[k] is None
+            self.white_eligible[k] = uncovered and degree < stage
+            self.stage_accepted[k] = False
+            self.stage_index[k] = 0
+            self.stage_queue[k] = []
+            if uncovered and degree == stage:
+                base = offsets[k]
+                queue = []
+                for i in range(1, degree + 1):
+                    if self._peer_degree(k, i) >= stage:
+                        continue
+                    payload = inbox[base + i - 1]
+                    if (
+                        payload is not ABSENT
+                        and payload[0] == "scov"
+                        and not payload[1]
+                    ):
+                        queue.append(i)
+                if queue:
+                    self.stage_queue[k] = queue
+                    proposers.append(k)
+        self._proposers = proposers
+
+    def _start_h(self, inbox) -> None:
+        """Phase III setup: every uncovered node proposes along its
+        uncovered neighbours; acceptance state starts clean."""
+        cg = self.cg
+        offsets = cg.offsets
+        degrees = cg.degrees
+        self._phase3 = True
+        proposers = []
+        for k in range(cg.num_nodes):
+            self.accepted_in[k] = False
+            self.stage_index[k] = 0
+            self.stage_queue[k] = []
+            self.out_done[k] = True
+            if self.m_port[k] is not None:
+                continue
+            base = offsets[k]
+            queue = []
+            for i in range(1, degrees[k] + 1):
+                payload = inbox[base + i - 1]
+                if (
+                    payload is not ABSENT
+                    and payload[0] == "hcov"
+                    and not payload[1]
+                ):
+                    queue.append(i)
+            if queue:
+                self.stage_queue[k] = queue
+                self.out_done[k] = False
+                proposers.append(k)
+        self._proposers = proposers
+
+
+class BatchDoubleCover(BatchProgram):
+    """The [21] double-cover proposal protocol, batched."""
+
+    __slots__ = ("delta", "index", "out_done", "accepted_in", "p_ports",
+                 "pending")
+
+    def __init__(self, graph: PortNumberedGraph, max_degree: int) -> None:
+        for v in graph.nodes:
+            if graph.degree(v) > max_degree:
+                raise AlgorithmContractError(
+                    f"node degree {graph.degree(v)} exceeds promised bound "
+                    f"Δ = {max_degree}"
+                )
+        super().__init__(graph)
+        self.delta = max_degree
+        n = self.cg.num_nodes
+        self.index = [0] * n  # next port to propose on (0-based)
+        self.out_done = [degree == 0 for degree in self.cg.degrees]
+        self.accepted_in = [False] * n
+        self.p_ports: list[set[int]] = [set() for _ in range(n)]
+        self.pending: list[list[int]] = [[] for _ in range(n)]
+
+    def send_all(self, rnd):
+        sends: list[tuple[int, object]] = []
+        cg = self.cg
+        offsets = cg.offsets
+        running = self.running
+        if rnd % 2 == 0:
+            # propose sub-round
+            for k in range(cg.num_nodes):
+                if not running[k]:
+                    continue
+                if not self.out_done[k] and self.index[k] < cg.degrees[k]:
+                    sends.append((offsets[k] + self.index[k], ("prop",)))
+            return sends
+        # respond sub-round
+        for k in range(cg.num_nodes):
+            if not running[k] or not self.pending[k]:
+                continue
+            base = offsets[k]
+            proposals = sorted(self.pending[k])
+            self.pending[k] = []
+            if not self.accepted_in[k]:
+                winner = proposals[0]
+                sends.append((base + winner - 1, ("acc",)))
+                self.p_ports[k].add(winner)
+                self.accepted_in[k] = True
+                losers = proposals[1:]
+            else:
+                losers = proposals
+            for port in losers:
+                sends.append((base + port - 1, ("rej",)))
+        return sends
+
+    def receive_all(self, rnd, inbox):
+        cg = self.cg
+        offsets = cg.offsets
+        degrees = cg.degrees
+        running = self.running
+        halting = rnd + 1 >= 2 * self.delta
+        even = rnd % 2 == 0
+        for k in range(cg.num_nodes):
+            if not running[k]:
+                continue
+            base = offsets[k]
+            if even:
+                self.pending[k] = [
+                    i
+                    for i in range(1, degrees[k] + 1)
+                    if inbox[base + i - 1] == ("prop",)
+                ]
+            elif not self.out_done[k] and self.index[k] < degrees[k]:
+                reply = inbox[base + self.index[k]]
+                if reply == ("acc",):
+                    self.p_ports[k].add(self.index[k] + 1)
+                    self.out_done[k] = True
+                elif reply == ("rej",):
+                    self.index[k] += 1
+                    if self.index[k] >= degrees[k]:
+                        self.out_done[k] = True
+            if halting:
+                self.halt_node(k, frozenset(self.p_ports[k]))
+
+
+class BatchGreedyMatchingIds(BatchProgram):
+    """The identified-model greedy maximal matching, batched.
+
+    Nodes halt as soon as they are matched or exhausted, so this is the
+    built-in that genuinely exercises dropped-send routing: running
+    neighbours keep addressing messages to halted nodes.
+    """
+
+    __slots__ = ("uid", "neighbour_id", "proposed", "pending", "accepted")
+
+    def __init__(self, graph: PortNumberedGraph, ids) -> None:
+        super().__init__(graph)
+        cg = self.cg
+        self.uid = [ids[v] for v in cg.nodes]
+        # What the per-node programs learn in round 0, read off the
+        # compiled involution (every port receives in round 0).
+        self.neighbour_id = [
+            self.uid[cg.port_node[cg.mate[g]]] for g in range(cg.num_ports)
+        ]
+        n = cg.num_nodes
+        self.proposed: list[int | None] = [None] * n
+        self.pending: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+        self.accepted: list[int | None] = [None] * n
+
+    def is_total_round(self, rnd):
+        # The id exchange and every status round broadcast on all ports.
+        return rnd == 0 or (rnd - 1) % 3 == 0
+
+    def send_all(self, rnd):
+        sends: list[tuple[int, object]] = []
+        cg = self.cg
+        offsets = cg.offsets
+        degrees = cg.degrees
+        running = self.running
+        if rnd == 0:
+            for k in range(cg.num_nodes):
+                if not running[k]:
+                    continue
+                base = offsets[k]
+                payload = ("id", self.uid[k])
+                for i in range(1, degrees[k] + 1):
+                    sends.append((base + i - 1, payload))
+            return sends
+        phase_round = (rnd - 1) % 3
+        for k in range(cg.num_nodes):
+            if not running[k]:
+                continue
+            base = offsets[k]
+            if phase_round == 0:
+                for i in range(1, degrees[k] + 1):
+                    sends.append((base + i - 1, ("alive",)))
+            elif phase_round == 1:
+                if self.proposed[k] is not None:
+                    sends.append(
+                        (base + self.proposed[k] - 1, ("prop", self.uid[k]))
+                    )
+            else:
+                if self.pending[k]:
+                    self.pending[k].sort()
+                    if self.proposed[k] is None:
+                        # acceptor: take the smallest-id proposer
+                        self.accepted[k] = self.pending[k][0][1]
+                        sends.append((base + self.accepted[k] - 1, ("acc",)))
+                        losers = self.pending[k][1:]
+                    else:
+                        losers = self.pending[k]
+                    for _, port in losers:
+                        sends.append((base + port - 1, ("rej",)))
+        return sends
+
+    def receive_all(self, rnd, inbox):
+        if rnd == 0:
+            return  # neighbour ids precomputed from the involution
+        phase_round = (rnd - 1) % 3
+        cg = self.cg
+        offsets = cg.offsets
+        degrees = cg.degrees
+        running = self.running
+        neighbour_id = self.neighbour_id
+        for k in range(cg.num_nodes):
+            if not running[k]:
+                continue
+            base = offsets[k]
+            if phase_round == 0:
+                alive = [
+                    i
+                    for i in range(1, degrees[k] + 1)
+                    if inbox[base + i - 1] == ("alive",)
+                ]
+                if not alive:
+                    self.halt_node(k, frozenset())  # no partner can appear
+                    continue
+                best = min(
+                    alive, key=lambda i: (neighbour_id[base + i - 1], i)
+                )
+                if neighbour_id[base + best - 1] < self.uid[k]:
+                    self.proposed[k] = best  # proposer this phase
+                else:
+                    self.proposed[k] = None  # local minimum: acceptor
+                self.pending[k] = []
+                self.accepted[k] = None
+            elif phase_round == 1:
+                pending = []
+                for i in range(1, degrees[k] + 1):
+                    payload = inbox[base + i - 1]
+                    if (
+                        isinstance(payload, tuple)
+                        and payload
+                        and payload[0] == "prop"
+                    ):
+                        pending.append((payload[1], i))
+                self.pending[k] = pending
+            else:
+                if self.accepted[k] is not None:
+                    self.halt_node(k, frozenset({self.accepted[k]}))
+                    continue
+                proposed = self.proposed[k]
+                if (
+                    proposed is not None
+                    and inbox[base + proposed - 1] == ("acc",)
+                ):
+                    self.halt_node(k, frozenset({proposed}))
+                    continue
+                self.proposed[k] = None

@@ -122,6 +122,20 @@ class BoundedDegreeEDS:
         d = self.odd_delta
         return 2 * d * d + 4 * d
 
+    def batch_program(self, graph):
+        """Opt in to the compiled scheduler's batch stepping."""
+        from repro.algorithms.batch import BatchAllEdges, BatchBoundedDegree
+
+        if self.max_degree == 1:
+            for v in graph.nodes:
+                if graph.degree(v) > 1:
+                    raise AlgorithmContractError(
+                        f"node degree {graph.degree(v)} exceeds promised "
+                        f"bound Δ = {self.max_degree}"
+                    )
+            return BatchAllEdges(graph)
+        return BatchBoundedDegree(graph, self.max_degree, self.odd_delta)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BoundedDegreeEDS(max_degree={self.max_degree})"
 

@@ -70,6 +70,12 @@ class DominatingTwoMatching:
         """Every program halts after exactly 2Δ rounds."""
         return 2 * self.max_degree
 
+    def batch_program(self, graph):
+        """Opt in to the compiled scheduler's batch stepping."""
+        from repro.algorithms.batch import BatchDoubleCover
+
+        return BatchDoubleCover(graph, self.max_degree)
+
 
 class _DoubleCoverProgram(NodeProgram):
     """Propose/respond cycles; cycle c occupies rounds 2c and 2c + 1."""

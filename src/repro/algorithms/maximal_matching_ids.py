@@ -115,6 +115,13 @@ class GreedyMaximalMatchingIds(NodeProgram):
                     return
             self.proposed_port = None
 
+    @classmethod
+    def batch_program(cls, graph, ids):
+        """Opt in to the compiled scheduler's batch stepping."""
+        from repro.algorithms.batch import BatchGreedyMatchingIds
+
+        return BatchGreedyMatchingIds(graph, ids)
+
 
 # Registered where it is defined: work units reach this program by name.
 from repro.registry.algorithms import register_identified  # noqa: E402

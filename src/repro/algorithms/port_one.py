@@ -48,6 +48,13 @@ class PortOneEDS(NodeProgram):
         }
         self.halt(selected)
 
+    @classmethod
+    def batch_program(cls, graph):
+        """Opt in to the compiled scheduler's batch stepping."""
+        from repro.algorithms.batch import BatchPortOne
+
+        return BatchPortOne(graph)
+
 
 # Registered where it is defined: work units reach this program by name.
 from repro.registry.algorithms import register_anonymous  # noqa: E402

@@ -130,6 +130,13 @@ class RegularOddEDS(LabelAwareProgram):
         """The exact number of rounds the program takes on d-regular input."""
         return 2 + 2 * d * d
 
+    @classmethod
+    def batch_program(cls, graph):
+        """Opt in to the compiled scheduler's batch stepping."""
+        from repro.algorithms.batch import BatchRegularOdd
+
+        return BatchRegularOdd(graph)
+
 
 # Registered where it is defined: work units reach this program by name.
 from repro.registry.algorithms import register_anonymous  # noqa: E402

@@ -1,7 +1,7 @@
 """The self-calibrating backend: inline until fan-out pays for itself.
 
 Process-pool startup is a fixed tax (interpreter spawn plus catalogue
-reload per worker); for grids of sub-10 ms units it dominates the whole
+reload per worker); for grids of sub-5 ms units it dominates the whole
 run, while for expensive units it vanishes.  ``AutoBackend`` measures
 instead of guessing: it executes the first few pending units inline
 with a wall clock around each, and fans the remainder out to the
@@ -36,9 +36,15 @@ if TYPE_CHECKING:  # pragma: no cover - types only
 
 __all__ = ["AutoBackend", "DEFAULT_FANOUT_THRESHOLD", "PROBE_UNITS"]
 
-#: Fan out only above this measured per-unit cost (seconds).  Pool
-#: startup dominates below ~10 ms/unit (ROADMAP measurement).
-DEFAULT_FANOUT_THRESHOLD = 0.010
+#: Fan out only above this measured per-unit cost (seconds).
+#: Re-derived for the compiled simulation core (E19): spawning a
+#: 2-worker pool costs ~40 ms of fixed tax, so with a typical ≥ 20-unit
+#: remainder and half the work moving off-process, fan-out starts
+#: paying at ~40 / (20 × ½) ≈ 4 ms/unit.  The old 10 ms threshold was
+#: calibrated when the dict-based scheduler kept per-unit costs high;
+#: compiled units are several times cheaper, and keeping the old bar
+#: would hold profitably parallel grids inline.
+DEFAULT_FANOUT_THRESHOLD = 0.005
 
 #: How many units the calibration probe times inline.
 PROBE_UNITS = 3

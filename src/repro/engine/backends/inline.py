@@ -3,7 +3,7 @@
 Executes every unit in the calling process, in submission order, with
 no pickling, no pool startup, and no thread handoff.  This is the right
 choice for grids of very small units (pool startup alone dominates
-below ~10 ms/unit) and is what ``"auto"`` stays on until calibration
+below ~5 ms/unit) and is what ``"auto"`` stays on until calibration
 says otherwise.
 """
 

@@ -11,7 +11,7 @@ module import time.
 
 Pool startup costs real time (interpreter spawn + catalogue reload per
 worker), so this backend pays off only when per-unit cost is well above
-~10 ms; below that, prefer :class:`~repro.engine.backends.inline.
+~5 ms; below that, prefer :class:`~repro.engine.backends.inline.
 InlineBackend` or let ``"auto"`` calibrate.
 """
 

@@ -4,6 +4,8 @@
 the grid the sequential harness could never finish — random regular
 graphs with d ∈ {2..10} and n up to 2048, ten seeds per cell — and is
 only practical through the engine's sharded executor and cache;
+``xlarge-regular`` pushes n to 16384 on top of the compiled simulation
+core (E19; sizes and rounds only — see the grid's comment);
 ``comparison`` is the regular-family half of the ``repro-eds compare``
 head-to-head (paper algorithms vs the :mod:`repro.baselines` family).
 """
@@ -34,6 +36,22 @@ SCENARIOS: dict[str, SweepGrid] = {
         # The exact solver is hopeless at this scale; report ratios
         # against the poly-time lower bound instead.
         optimum="lower_bound",
+    ),
+    # The scale the compiled simulation core unlocks (E19): n up to
+    # 16384, where the dict-based scheduler alone spent minutes per
+    # unit.  ``optimum="none"`` by necessity, not convenience: the
+    # poly-time lower bound runs the blossom maximum matching, which is
+    # ~3 minutes per unit at this size — the scenario measures solution
+    # sizes, round counts, and throughput; quality ratios stay with
+    # ``large-regular``.
+    "xlarge-regular": SweepGrid(
+        name="xlarge-regular",
+        algorithms=("port_one", "regular_odd", "bounded_degree"),
+        family="regular",
+        degrees=(2, 3, 4, 8),
+        sizes=(4096, 8192, 16384),
+        seeds=2,
+        optimum="none",
     ),
     "bounded-mixed": SweepGrid(
         name="bounded-mixed",

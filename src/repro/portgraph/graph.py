@@ -49,7 +49,10 @@ class PortNumberedGraph:
         If ``p`` is not self-inverse.
     """
 
-    __slots__ = ("_degrees", "_p", "_nodes", "_edges", "_edge_at", "_hash")
+    __slots__ = (
+        "_degrees", "_p", "_nodes", "_edges", "_edge_at", "_hash",
+        "_compiled",
+    )
 
     def __init__(
         self,
@@ -101,6 +104,7 @@ class PortNumberedGraph:
             for port in edge.ports:
                 self._edge_at[port] = edge
         self._hash: int | None = None
+        self._compiled = None
 
     def _build_edges(self) -> Iterator[PortEdge]:
         seen: set[Port] = set()
@@ -291,6 +295,31 @@ class PortNumberedGraph:
             f"PortNumberedGraph(n={self.num_nodes}, m={self.num_edges}, "
             f"max_degree={self.max_degree})"
         )
+
+    def __getstate__(self):
+        # The compiled form and derived caches are rebuilt on demand;
+        # pickling ships only the defining (V, d, p) triple.
+        return (self._degrees, self._p)
+
+    def __setstate__(self, state) -> None:
+        degrees, involution = state
+        self.__init__(degrees, involution)
+
+    # ------------------------------------------------------------------
+    # Compiled form
+    # ------------------------------------------------------------------
+
+    def compiled(self):
+        """The cached :class:`~repro.portgraph.compiled.CompiledGraph`.
+
+        Lowered once per graph object and shared by every simulation
+        run; see :mod:`repro.portgraph.compiled`.
+        """
+        if self._compiled is None:
+            from repro.portgraph.compiled import CompiledGraph
+
+            self._compiled = CompiledGraph(self)
+        return self._compiled
 
     # ------------------------------------------------------------------
     # Derived constructions

@@ -82,21 +82,30 @@ def views_at_depth(
     if depth < 0:
         raise ValueError(f"depth must be >= 0, got {depth}")
     interner = interner if interner is not None else ViewInterner()
-    current: dict[Node, int] = {
-        v: interner.intern(("leaf", graph.degree(v))) for v in graph.nodes
-    }
+    # The level loop runs over the compiled flat arrays: following a
+    # connection is one read of the flat involution instead of a
+    # tuple-hash dict lookup.  Signatures are unchanged, so ids stay
+    # compatible across interners fed by either representation.
+    cg = graph.compiled()
+    mate, port_node = cg.flat_lists()
+    offsets = cg.offsets
+    degrees = cg.degrees
+    intern = interner.intern
+    peer_label = cg.peer_local_list()
+    current = [intern(("leaf", degree)) for degree in degrees]
     for level in range(1, depth + 1):
-        following: dict[Node, int] = {}
-        for v in graph.nodes:
-            children = []
-            for i in graph.ports(v):
-                u, j = graph.connection(v, i)
-                children.append((j, current[u]))
-            following[v] = interner.intern(
-                (level, graph.degree(v), tuple(children))
-            )
-        current = following
-    return current
+        current = [
+            intern((
+                level,
+                degrees[k],
+                tuple(
+                    (peer_label[g], current[port_node[mate[g]]])
+                    for g in range(offsets[k], offsets[k + 1])
+                ),
+            ))
+            for k in range(cg.num_nodes)
+        ]
+    return {v: current[k] for k, v in enumerate(cg.nodes)}
 
 
 def view_partition(

@@ -6,6 +6,7 @@ from repro.runtime.algorithm import (
     Message,
     NodeProgram,
 )
+from repro.runtime.batch import ABSENT, BatchProgram
 from repro.runtime.outputs import (
     check_consistency,
     decode_edge_set,
@@ -13,9 +14,11 @@ from repro.runtime.outputs import (
 )
 from repro.runtime.scheduler import (
     DEFAULT_MAX_ROUNDS,
+    ENGINES,
     RunResult,
     run_anonymous,
     run_identified,
+    use_engine,
 )
 from repro.runtime.trace import ExecutionTrace, RoundTrace, SentMessage
 
@@ -24,9 +27,13 @@ __all__ = [
     "AnonymousAlgorithm",
     "IdentifiedAlgorithm",
     "Message",
+    "ABSENT",
+    "BatchProgram",
     "RunResult",
     "run_anonymous",
     "run_identified",
+    "use_engine",
+    "ENGINES",
     "DEFAULT_MAX_ROUNDS",
     "check_consistency",
     "decode_edge_set",

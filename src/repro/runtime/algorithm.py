@@ -43,6 +43,11 @@ class NodeProgram(abc.ABC):
     involution, then calls ``receive(rnd, inbox)`` on every running node.
     ``inbox`` maps port number to the message that arrived there; ports
     whose peer sent nothing are absent from the mapping.
+
+    The inbox mapping is owned by the scheduler and only valid for the
+    duration of the ``receive`` call (the compiled round loop reuses one
+    preallocated mapping per node across rounds); copy it — e.g.
+    ``dict(inbox)`` — before storing it on the program.
     """
 
     __slots__ = ("degree", "_halted", "_output")

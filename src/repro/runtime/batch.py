@@ -1,0 +1,213 @@
+"""The opt-in batch-stepping protocol of the compiled scheduler.
+
+A :class:`~repro.runtime.algorithm.NodeProgram` advances one node; the
+scheduler pays ``2·n`` method dispatches per round (one ``send`` and one
+``receive`` per running node) plus a mapping per inbox.  A
+:class:`BatchProgram` advances **all** nodes in one
+:meth:`~BatchProgram.step_all` call per round over the compiled graph's
+flat buffers — the shape the paper's deterministic algorithms want,
+since their per-node state is a handful of scalars and their round
+schedule is global.
+
+Opting in: an algorithm factory exposes ``batch_program(graph)``
+(anonymous model) or ``batch_program(graph, ids)`` (identified model)
+returning a :class:`BatchProgram`; :func:`repro.runtime.run_anonymous` /
+:func:`~repro.runtime.run_identified` detect the hook and switch the
+round loop.  A batch implementation must be *observationally identical*
+to its per-node program: same outputs, same round count, and the same
+messages in the same order (per round: node order, then the per-node
+send-mapping order) — the differential suite in
+``tests/test_runtime_compiled.py`` holds every built-in to exactly that.
+
+Subclasses implement :meth:`send_all` (this round's sends as
+``(global port, payload)`` pairs, canonical order) and
+:meth:`receive_all` (consume the flat inbox, update state, halt nodes
+via :meth:`halt_node`); the base class owns routing through ``mate``,
+halted-target dropping, ``strict_delivery``, and the flat trace log.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.exceptions import SimulationError
+from repro.portgraph.graph import PortNumberedGraph
+
+__all__ = ["ABSENT", "BatchProgram"]
+
+
+class _Absent:
+    """Sentinel for an empty flat inbox slot (``None`` is a valid payload)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<no message>"
+
+
+#: The single sentinel instance filling unwritten inbox slots.
+ABSENT = _Absent()
+
+
+class BatchProgram(abc.ABC):
+    """All nodes of one graph, stepped together by the compiled scheduler.
+
+    State the scheduler reads:
+
+    ``running`` / ``num_running``
+        Per-node-index liveness (degree-0 nodes start halted with empty
+        output, matching the per-node runners).
+    ``outputs``
+        Per-node-index output port sets, filled by :meth:`halt_node`.
+    ``newly_halted``
+        Node indices halted by the latest :meth:`step_all`, in node
+        order (feeds the round trace).
+
+    Flags the scheduler sets before the loop: ``record`` (collect the
+    flat send log for trace reconstruction) and ``strict`` (raise on
+    sends to halted nodes instead of dropping).
+    """
+
+    __slots__ = (
+        "cg",
+        "running",
+        "num_running",
+        "outputs",
+        "newly_halted",
+        "record",
+        "strict",
+        "total_send_rounds",
+        "_initial_running",
+        "_mate",
+        "_port_node",
+        "_written",
+        "_absent_template",
+    )
+
+    def __init__(self, graph: PortNumberedGraph) -> None:
+        cg = graph.compiled()
+        self.cg = cg
+        self.running = bytearray(
+            1 if degree > 0 else 0 for degree in cg.degrees
+        )
+        self.num_running = sum(self.running)
+        # Degree-0 nodes can never receive information: halted up front
+        # with empty output, exactly like the per-node runners.
+        self.outputs: list[frozenset[int] | None] = [
+            None if degree > 0 else frozenset() for degree in cg.degrees
+        ]
+        self.newly_halted: list[int] = []
+        self.record = False
+        self.strict = False
+        #: Rounds whose sends are a *total broadcast* — every running
+        #: node sends on every port.  While no node has halted yet, such
+        #: a round writes every inbox slot and can drop nothing, so
+        #: routing skips liveness checks and per-slot clearing entirely.
+        self.total_send_rounds: frozenset[int] = frozenset()
+        self._initial_running = self.num_running
+        self._mate, self._port_node = cg.flat_lists()
+        self._written: list[int] = []
+        self._absent_template = [ABSENT] * cg.num_ports
+
+    # -- subclass hooks --------------------------------------------------
+
+    @abc.abstractmethod
+    def send_all(self, rnd: int) -> "list[tuple[int, object]]":
+        """Round *rnd*'s sends as ``(global port, payload)`` pairs.
+
+        Canonical order — ascending node index, and within a node the
+        order its per-node program's send mapping would iterate — so
+        traces match the per-node execution exactly.
+        """
+
+    @abc.abstractmethod
+    def receive_all(self, rnd: int, inbox: list) -> None:
+        """Consume round *rnd*'s flat *inbox* and update all nodes.
+
+        ``inbox[g]`` is the payload delivered to global port ``g``, or
+        :data:`ABSENT`.  Implementations process nodes in ascending
+        index order and halt via :meth:`halt_node`.
+        """
+
+    # -- shared mechanics -------------------------------------------------
+
+    def halt_node(self, k: int, output: frozenset[int]) -> None:
+        """Halt node index *k* with *output* (validated local ports)."""
+        self.outputs[k] = output
+        self.running[k] = 0
+        self.num_running -= 1
+        self.newly_halted.append(k)
+
+    def make_inbox(self) -> list:
+        """A fresh flat inbox buffer, one slot per global port."""
+        return list(self._absent_template)
+
+    def is_total_round(self, rnd: int) -> bool:
+        """Whether round *rnd*'s sends are a total broadcast.
+
+        The default consults :attr:`total_send_rounds`; subclasses with
+        periodic broadcast schedules override instead.
+        """
+        return rnd in self.total_send_rounds
+
+    def step_all(
+        self, rnd: int, inbox: list
+    ) -> "list[tuple[int, int, object, bool]] | None":
+        """Execute one full round: send, route, deliver — one call.
+
+        Routes :meth:`send_all`'s messages through the flat involution
+        into *inbox* (dropping sends to halted nodes, or raising when
+        ``strict``), hands the inbox to :meth:`receive_all`, then clears
+        exactly the slots it wrote.  Returns the flat send log
+        ``(source, target, payload, dropped)`` when ``record`` is set,
+        else ``None`` — the scheduler materialises the object trace from
+        these after the run.
+        """
+        mate = self._mate
+        port_node = self._port_node
+        running = self.running
+        written = self._written
+        log: list[tuple[int, int, object, bool]] | None = (
+            [] if self.record else None
+        )
+        self.newly_halted.clear()
+
+        if (
+            log is None
+            and not self.strict
+            and self.num_running == self._initial_running
+            and self.is_total_round(rnd)
+        ):
+            # Total broadcast, nobody halted: every slot gets written,
+            # nothing can drop — route without bookkeeping and reset
+            # the buffer wholesale afterwards.
+            for g, payload in self.send_all(rnd):
+                inbox[mate[g]] = payload
+            self.receive_all(rnd, inbox)
+            inbox[:] = self._absent_template
+            return None
+
+        for g, payload in self.send_all(rnd):
+            target = mate[g]
+            if running[port_node[target]]:
+                inbox[target] = payload
+                written.append(target)
+                if log is not None:
+                    log.append((g, target, payload, False))
+            else:
+                if self.strict:
+                    nodes = self.cg.nodes
+                    raise SimulationError(
+                        f"node {nodes[port_node[g]]!r} sent to halted "
+                        f"node {nodes[port_node[target]]!r} in round "
+                        f"{rnd} (strict_delivery is enabled)"
+                    )
+                if log is not None:
+                    log.append((g, target, payload, True))
+
+        self.receive_all(rnd, inbox)
+
+        for target in written:
+            inbox[target] = ABSENT
+        written.clear()
+        return log

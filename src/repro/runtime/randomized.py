@@ -23,7 +23,12 @@ from typing import Callable
 
 from repro.portgraph.graph import PortNumberedGraph
 from repro.runtime.algorithm import NodeProgram
-from repro.runtime.scheduler import DEFAULT_MAX_ROUNDS, RunResult, _execute
+from repro.runtime.scheduler import (
+    DEFAULT_MAX_ROUNDS,
+    RunResult,
+    _resolve_engine,
+    _run_programs,
+)
 
 __all__ = ["RandomizedAlgorithm", "run_randomized"]
 
@@ -38,6 +43,7 @@ def run_randomized(
     seed: int = 0,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     record_trace: bool = False,
+    engine: str | None = None,
 ) -> RunResult:
     """Run a randomised anonymous algorithm with reproducible coins."""
     master = random.Random(seed)
@@ -48,4 +54,7 @@ def run_randomized(
         if graph.degree(v) == 0 and not prog.halted:
             prog.halt(frozenset())
         programs[v] = prog
-    return _execute(graph, programs, max_rounds, record_trace)
+    return _run_programs(
+        graph, programs, _resolve_engine(engine), max_rounds, record_trace,
+        False,
+    )

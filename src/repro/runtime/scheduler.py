@@ -11,12 +11,40 @@ Each round the scheduler
 The run ends when every node has halted; a configurable round limit
 guards against non-terminating programs.  :class:`RunResult` bundles the
 outputs, the round count, and (optionally) a full message trace.
+
+Execution engines
+-----------------
+
+The round loop runs over the graph's **compiled flat-array form**
+(:meth:`~repro.portgraph.graph.PortNumberedGraph.compiled`): routing is
+one read of the flat involution array instead of a tuple-hash dict
+lookup, the delivery order is the graph's own construction order (no
+per-run re-derivation), per-node inbox mappings are preallocated once
+and reused across rounds, and traces are reconstructed from a flat log
+after the run instead of allocating per-round objects.  Three engines
+share the public entry points:
+
+* ``"compiled"`` (default) — the flat-array loop; algorithms that opt in
+  to the batch-stepping protocol (:mod:`repro.runtime.batch`) advance
+  all nodes in one call per round instead of ``2·n`` dispatches;
+* ``"pernode"`` — the flat-array loop with batch stepping disabled
+  (every algorithm runs through its per-node programs);
+* ``"legacy"`` — the original dict-based reference loop
+  (:mod:`repro.runtime.legacy`), kept for differential testing and the
+  runtime benchmark.
+
+All engines are observationally identical — same outputs, rounds, and
+traces; ``tests/test_runtime_compiled.py`` enforces this across the full
+algorithm × graph-family matrix.  Pick one per call (``engine=``) or for
+a whole region with :func:`use_engine`.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterator, Mapping
 
 from repro.exceptions import RoundLimitExceeded, SimulationError
 from repro.portgraph.graph import PortNumberedGraph
@@ -26,12 +54,55 @@ from repro.runtime.algorithm import (
     IdentifiedAlgorithm,
     NodeProgram,
 )
+from repro.runtime.batch import BatchProgram
 from repro.runtime.outputs import decode_edge_set
-from repro.runtime.trace import ExecutionTrace, RoundTrace, SentMessage
+from repro.runtime.trace import ExecutionTrace, trace_from_log
 
-__all__ = ["RunResult", "run_anonymous", "run_identified", "DEFAULT_MAX_ROUNDS"]
+__all__ = [
+    "ENGINES",
+    "RunResult",
+    "run_anonymous",
+    "run_identified",
+    "use_engine",
+    "DEFAULT_MAX_ROUNDS",
+]
 
 DEFAULT_MAX_ROUNDS = 100_000
+
+#: The selectable execution engines (see the module docstring).
+ENGINES = ("compiled", "pernode", "legacy")
+
+_engine_override: ContextVar[str | None] = ContextVar(
+    "repro_runtime_engine", default=None
+)
+
+
+@contextmanager
+def use_engine(name: str) -> Iterator[None]:
+    """Run a region under a different scheduler engine.
+
+    The differential tests and the runtime benchmark wrap calls in
+    ``use_engine("legacy")`` to compare against the reference loop
+    without threading a parameter through every caller.  The override is
+    a :class:`~contextvars.ContextVar`, so concurrent threads (the
+    thread backend) see only their own setting.
+    """
+    _resolve_engine(name)  # validate eagerly
+    token = _engine_override.set(name)
+    try:
+        yield
+    finally:
+        _engine_override.reset(token)
+
+
+def _resolve_engine(engine: str | None) -> str:
+    if engine is None:
+        engine = _engine_override.get() or "compiled"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; available: {ENGINES}"
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -58,71 +129,155 @@ def _execute(
     record_trace: bool,
     strict_delivery: bool = False,
 ) -> RunResult:
-    trace = ExecutionTrace() if record_trace else None
-    running = {v for v, prog in programs.items() if not prog.halted}
-    # The deterministic delivery order never changes; fix it once instead
-    # of re-sorting the running set every round.
-    node_order = sorted(programs, key=repr)
+    """The compiled per-node round loop.
+
+    Routing runs over the flat arrays of the compiled graph; the only
+    per-round allocations are the messages themselves.  Inbox mappings
+    are preallocated per node and reused — they are cleared after each
+    round's delivery, so programs must copy anything they want to keep
+    (see :class:`~repro.runtime.algorithm.NodeProgram`).
+    """
+    cg = graph.compiled()
+    nodes = cg.nodes
+    n = cg.num_nodes
+    progs = [programs[v] for v in nodes]
+    degrees = cg.degrees
+    offsets = cg.offsets
+    mate = cg.mate
+    port_node = cg.port_node
+
+    running = bytearray(0 if prog.halted else 1 for prog in progs)
+    num_running = sum(running)
+    inboxes: list[dict[int, object]] = [{} for _ in range(n)]
+    touched: list[int] = []
+    rounds_log: list | None = [] if record_trace else None
     rnd = 0
 
-    while running:
+    while num_running:
         if rnd >= max_rounds:
             raise RoundLimitExceeded(
-                f"{len(running)} node(s) still running after "
+                f"{num_running} node(s) still running after "
                 f"{max_rounds} rounds"
             )
 
-        round_trace = RoundTrace(rnd) if record_trace else None
+        log: list | None = [] if record_trace else None
 
-        # 1. collect sends from running nodes
-        inboxes: dict[Node, dict[int, object]] = {v: {} for v in running}
-        for v in running:
-            out = programs[v].send(rnd)
-            degree = graph.degree(v)
+        # 1. collect sends from running nodes (fixed construction order)
+        for k in range(n):
+            if not running[k]:
+                continue
+            out = progs[k].send(rnd)
+            if not out:
+                continue
+            base = offsets[k]
+            degree = degrees[k]
             for port, payload in out.items():
                 if not 1 <= port <= degree:
                     raise SimulationError(
-                        f"node {v!r} sent on invalid port {port} "
+                        f"node {nodes[k]!r} sent on invalid port {port} "
                         f"(degree {degree})"
                     )
-                u, j = graph.connection(v, port)
-                # Messages to halted nodes are dropped (their programs no
-                # longer receive); in the paper's algorithms all nodes halt
-                # simultaneously so this never matters.  ``strict_delivery``
-                # turns the silent drop into an error so other algorithms
-                # surface the bug.
-                if u in inboxes:
-                    inboxes[u][j] = payload
-                elif strict_delivery:
-                    raise SimulationError(
-                        f"node {v!r} sent to halted node {u!r} in round "
-                        f"{rnd} (strict_delivery is enabled)"
-                    )
-                if round_trace is not None:
-                    round_trace.messages.append(
-                        SentMessage((v, port), (u, j), payload)
-                    )
+                target = mate[base + port - 1]
+                tk = port_node[target]
+                if running[tk]:
+                    box = inboxes[tk]
+                    if not box:
+                        touched.append(tk)
+                    box[target - offsets[tk] + 1] = payload
+                    if log is not None:
+                        log.append((base + port - 1, target, payload, False))
+                else:
+                    # Messages to halted nodes are dropped (their
+                    # programs no longer receive); the paper's algorithms
+                    # halt simultaneously so this never fires for them.
+                    if strict_delivery:
+                        raise SimulationError(
+                            f"node {nodes[k]!r} sent to halted node "
+                            f"{nodes[tk]!r} in round {rnd} "
+                            "(strict_delivery is enabled)"
+                        )
+                    if log is not None:
+                        log.append((base + port - 1, target, payload, True))
 
         # 2. deliver and let nodes step / halt
-        newly_halted: list[Node] = []
-        for v in (u for u in node_order if u in running):
-            programs[v].receive(rnd, inboxes[v])
-            if programs[v].halted:
-                newly_halted.append(v)
-        for v in newly_halted:
-            running.discard(v)
-            if round_trace is not None:
-                round_trace.halted_nodes.append(v)
+        newly_halted: list[int] = []
+        for k in range(n):
+            if not running[k]:
+                continue
+            prog = progs[k]
+            prog.receive(rnd, inboxes[k])
+            if prog.halted:
+                newly_halted.append(k)
+        for k in newly_halted:
+            running[k] = 0
+        num_running -= len(newly_halted)
+        for tk in touched:
+            inboxes[tk].clear()
+        touched.clear()
 
-        if trace is not None and round_trace is not None:
-            trace.rounds.append(round_trace)
+        if rounds_log is not None:
+            rounds_log.append((log, newly_halted))
         rnd += 1
 
     outputs: dict[Node, frozenset[int]] = {}
-    for v, prog in programs.items():
-        assert prog.output is not None  # halted implies output set
-        outputs[v] = prog.output
+    for k, v in enumerate(nodes):
+        out = progs[k].output
+        assert out is not None  # halted implies output set
+        outputs[v] = out
+    trace = trace_from_log(cg, rounds_log) if rounds_log is not None else None
     return RunResult(graph=graph, outputs=outputs, rounds=rnd, trace=trace)
+
+
+def _execute_batch(
+    graph: PortNumberedGraph,
+    batch: BatchProgram,
+    max_rounds: int,
+    record_trace: bool,
+    strict_delivery: bool = False,
+) -> RunResult:
+    """The batch round loop: one :meth:`BatchProgram.step_all` per round."""
+    batch.record = record_trace
+    batch.strict = strict_delivery
+    inbox = batch.make_inbox()
+    rounds_log: list | None = [] if record_trace else None
+    rnd = 0
+
+    while batch.num_running:
+        if rnd >= max_rounds:
+            raise RoundLimitExceeded(
+                f"{batch.num_running} node(s) still running after "
+                f"{max_rounds} rounds"
+            )
+        log = batch.step_all(rnd, inbox)
+        if rounds_log is not None:
+            rounds_log.append((log, list(batch.newly_halted)))
+        rnd += 1
+
+    cg = batch.cg
+    outputs: dict[Node, frozenset[int]] = {}
+    for k, v in enumerate(cg.nodes):
+        out = batch.outputs[k]
+        assert out is not None  # loop exits only when all nodes halted
+        outputs[v] = out
+    trace = trace_from_log(cg, rounds_log) if rounds_log is not None else None
+    return RunResult(graph=graph, outputs=outputs, rounds=rnd, trace=trace)
+
+
+def _run_programs(
+    graph: PortNumberedGraph,
+    programs: dict[Node, NodeProgram],
+    engine: str,
+    max_rounds: int,
+    record_trace: bool,
+    strict_delivery: bool,
+) -> RunResult:
+    if engine == "legacy":
+        from repro.runtime.legacy import execute_legacy
+
+        return execute_legacy(
+            graph, programs, max_rounds, record_trace, strict_delivery
+        )
+    return _execute(graph, programs, max_rounds, record_trace, strict_delivery)
 
 
 def run_anonymous(
@@ -132,6 +287,7 @@ def run_anonymous(
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     record_trace: bool = False,
     strict_delivery: bool = False,
+    engine: str | None = None,
 ) -> RunResult:
     """Run a deterministic anonymous algorithm on *graph*.
 
@@ -147,14 +303,31 @@ def run_anonymous(
     silently dropped; the paper's algorithms halt all nodes simultaneously
     so they are unaffected, but the option surfaces lifecycle bugs in
     user-supplied algorithms.
+
+    *engine* selects the scheduler implementation (default
+    ``"compiled"``; see :data:`ENGINES` and :func:`use_engine`).  Under
+    the compiled engine a factory exposing ``batch_program(graph)``
+    (see :mod:`repro.runtime.batch`) is stepped all-nodes-at-once.
     """
+    resolved = _resolve_engine(engine)
+    if resolved == "compiled":
+        make_batch = getattr(algorithm, "batch_program", None)
+        if make_batch is not None:
+            batch = make_batch(graph)
+            if batch is not None:
+                return _execute_batch(
+                    graph, batch, max_rounds, record_trace, strict_delivery
+                )
+
     programs: dict[Node, NodeProgram] = {}
     for v in graph.nodes:
         prog = algorithm(graph.degree(v))
         if graph.degree(v) == 0 and not prog.halted:
             prog.halt(frozenset())
         programs[v] = prog
-    return _execute(graph, programs, max_rounds, record_trace, strict_delivery)
+    return _run_programs(
+        graph, programs, resolved, max_rounds, record_trace, strict_delivery
+    )
 
 
 def run_identified(
@@ -165,18 +338,30 @@ def run_identified(
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     record_trace: bool = False,
     strict_delivery: bool = False,
+    engine: str | None = None,
 ) -> RunResult:
     """Run an algorithm in the stronger unique-identifier model.
 
     *ids* assigns each node a distinct integer; by default nodes are
     numbered by their deterministic order in ``graph.nodes``.  This runner
     exists for baseline comparisons (paper §1.3); the paper's own
-    algorithms never use it.
+    algorithms never use it.  Batch-capable identified factories expose
+    ``batch_program(graph, ids)``.
     """
     if ids is None:
         ids = {v: k for k, v in enumerate(graph.nodes)}
     if len(set(ids.values())) != graph.num_nodes:
         raise SimulationError("node identifiers must be unique")
+
+    resolved = _resolve_engine(engine)
+    if resolved == "compiled":
+        make_batch = getattr(algorithm, "batch_program", None)
+        if make_batch is not None:
+            batch = make_batch(graph, ids)
+            if batch is not None:
+                return _execute_batch(
+                    graph, batch, max_rounds, record_trace, strict_delivery
+                )
 
     programs: dict[Node, NodeProgram] = {}
     for v in graph.nodes:
@@ -184,4 +369,6 @@ def run_identified(
         if graph.degree(v) == 0 and not prog.halted:
             prog.halt(frozenset())
         programs[v] = prog
-    return _execute(graph, programs, max_rounds, record_trace, strict_delivery)
+    return _run_programs(
+        graph, programs, resolved, max_rounds, record_trace, strict_delivery
+    )
