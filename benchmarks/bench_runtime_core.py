@@ -26,6 +26,7 @@ import argparse
 import json
 import time
 
+from repro.obs import recording
 from repro.registry.algorithms import resolve
 from repro.registry.families import get_family
 from repro.runtime import use_engine
@@ -152,6 +153,75 @@ def test_round_dominated_units_speed_up_5x():
     payload = measure_units()
     emit(format_table(payload))
     assert payload["summary"]["round_dominated_min_speedup"] >= 5.0
+
+
+def test_telemetry_overhead_under_5_percent():
+    """The always-on-cheap gate for the telemetry subsystem: on a
+    round-dominated unit the instrumented round loop may cost at most
+    5% extra.  Measured with a recorder actively *collecting* — a strict
+    superset of the disabled path (one flag check), so passing here
+    bounds both.
+
+    Measurement discipline (shared runners shift CPU speed regimes
+    mid-run, with run-to-run swings far above the effect under test):
+    gc is off while timing, each sample batches three executions, the
+    variants run as off/on pairs with the order alternating per rep,
+    and the verdict is the *median* per-pair ratio — pairs land in the
+    same speed regime, the median throws away the ones straddling a
+    regime shift.  A median over the threshold re-measures (up to three
+    attempts): a real 5% regression reproduces, a scheduler artefact
+    does not."""
+    import gc as _gc
+    import statistics
+
+    unit = {"algorithm": "regular_odd", "d": 5, "n": 1024}
+    bound = resolve(unit["algorithm"])
+    reps = 11
+    batch = 3
+
+    def one_sample(with_recorder: bool) -> float:
+        graphs = [_build(unit) for _ in range(batch)]
+        with use_engine("compiled"):
+            if with_recorder:
+                with recording():
+                    started = time.perf_counter()
+                    for graph in graphs:
+                        bound.run(graph)
+                    return time.perf_counter() - started
+            started = time.perf_counter()
+            for graph in graphs:
+                bound.run(graph)
+            return time.perf_counter() - started
+
+    def measure() -> tuple[float, list[float]]:
+        ratios = []
+        _gc.disable()
+        try:
+            one_sample(False)  # warm both variants up, untimed
+            one_sample(True)
+            for rep in range(reps):
+                if rep % 2:
+                    on = one_sample(True)
+                    off = one_sample(False)
+                else:
+                    off = one_sample(False)
+                    on = one_sample(True)
+                ratios.append(on / off)
+        finally:
+            _gc.enable()
+        return statistics.median(ratios), ratios
+
+    for attempt in range(3):
+        median_ratio, ratios = measure()
+        emit(
+            f"telemetry overhead regular_odd d=5 n=1024 "
+            f"(median of {reps} pairs of {batch}, attempt {attempt + 1}): "
+            f"{(median_ratio - 1.0) * 100:+.1f}% "
+            f"(spread {min(ratios):.3f}..{max(ratios):.3f})"
+        )
+        if median_ratio <= 1.05:
+            break
+    assert median_ratio <= 1.05
 
 
 if __name__ == "__main__":

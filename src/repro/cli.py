@@ -25,11 +25,21 @@ Examples
     repro-eds cache gc --max-size 64MiB --max-age 7d
     repro-eds cache clear
     repro-eds demo --family regular -d 3 -n 16 --algorithm regular_odd
+    repro-eds profile --scenario large-regular --limit 6
+    repro-eds profile --scenario xlarge-regular --limit 2 --optimum lower_bound
+    repro-eds sweep --scenario default --trace sweep-trace.jsonl
+    repro-eds -v sweep --scenario default
+
+Global flags: ``-v/--verbose`` (debug logging for ``repro.*``) and
+``-q`` (warnings only) go before the subcommand; ``--trace PATH`` on
+sweep/table1/compare/figure/messages/profile writes a JSONL telemetry
+sidecar (see ``repro.obs``).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Sequence
 
@@ -48,6 +58,7 @@ from repro.engine import (
     scenario_names,
 )
 from repro.engine.cache import human_bytes, parse_age, parse_size
+from repro.engine.spec import OPTIMUM_MODES
 from repro.experiments.ablation import format_ablations, run_ablations
 from repro.experiments.compare import (
     COMPARE_FAMILIES,
@@ -68,6 +79,7 @@ from repro.experiments.sweeps import (
 from repro.experiments.table1 import format_table1, reproduce_table1
 from repro.generators.bounded import grid, random_bounded_degree
 from repro.generators.regular import cycle, random_regular
+from repro.obs import configure_logging, render_report, telemetry, write_trace
 from repro.registry import (
     algorithm_names,
     get_measure,
@@ -76,6 +88,8 @@ from repro.registry import (
 )
 
 __all__ = ["main", "build_parser"]
+
+logger = logging.getLogger(__name__)
 
 
 def _int_list(text: str) -> tuple[int, ...]:
@@ -135,6 +149,15 @@ def _grid_measures() -> tuple[str, ...]:
     )
 
 
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL telemetry trace sidecar to PATH (per-unit "
+        "phase spans, runtime counters, cache latencies; never written "
+        "into the cache directory)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-eds",
@@ -143,6 +166,15 @@ def build_parser() -> argparse.ArgumentParser:
             "Dominating Sets' (PODC 2010)."
         ),
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="enable debug logging for the repro.* loggers "
+        "(goes before the subcommand)",
+    )
+    parser.add_argument(
+        "-q", dest="log_quiet", action="store_true",
+        help="only log warnings and errors (goes before the subcommand)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="reproduce Table 1 (E1-E3)")
@@ -150,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     t1.add_argument("--odd", type=_int_list, default=(1, 3, 5, 7, 9))
     t1.add_argument("--ks", type=_int_list, default=(1, 2, 3, 4, 5))
     _add_engine_flags(t1)
+    _add_trace_flag(t1)
 
     fig = sub.add_parser(
         "figure",
@@ -158,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig.add_argument("figure_id", choices=[*FIGURE_IDS, "all"])
     _add_engine_flags(fig)
+    _add_trace_flag(fig)
 
     rounds = sub.add_parser("rounds", help="round-complexity sweep (E4)")
     rounds.add_argument("--degrees", type=_int_list, default=(1, 3, 5, 7))
@@ -186,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
         "port_one,randomized_matching",
     )
     _add_engine_flags(msg)
+    _add_trace_flag(msg)
 
     sweep = sub.add_parser(
         "sweep",
@@ -228,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_max_size_flag(sweep)
     _add_engine_flags(sweep)
+    _add_trace_flag(sweep)
 
     cmp = sub.add_parser(
         "compare",
@@ -268,6 +304,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_max_size_flag(cmp)
     _add_engine_flags(cmp)
+    _add_trace_flag(cmp)
 
     plugins = sub.add_parser(
         "plugins",
@@ -323,6 +360,71 @@ def build_parser() -> argparse.ArgumentParser:
                       help="degree (regular) / max degree (bounded)")
     demo.add_argument("--seed", type=int, default=0)
 
+    profile = sub.add_parser(
+        "profile",
+        help="run a scenario slice with telemetry on and print the "
+        "per-phase p50/p95 breakdown, the slowest units, and runtime/"
+        "cache counters",
+    )
+    profile.add_argument(
+        "--scenario", choices=scenario_names(), default="default",
+        help="named grid to profile (default: 'default')",
+    )
+    profile.add_argument(
+        "--limit", type=int, default=8,
+        help="profile only the first N work units of the expanded grid "
+        "(default: 8; 0 means all)",
+    )
+    profile.add_argument(
+        "--degrees", type=_int_list, default=None,
+        help="override the scenario's degree axis, e.g. 2,3,4",
+    )
+    profile.add_argument(
+        "--sizes", type=_int_list, default=None,
+        help="override the scenario's size axis, e.g. 16,32,64",
+    )
+    profile.add_argument(
+        "--seeds", type=int, default=None,
+        help="override the number of seeds per grid cell",
+    )
+    profile.add_argument(
+        "--algorithms", type=_str_list, default=None,
+        help="override the algorithm list, e.g. port_one,bounded_degree "
+        f"(registered: {','.join(algorithm_names())})",
+    )
+    profile.add_argument(
+        "--measure", choices=_grid_measures(), default=None,
+        help="override the scenario's measure",
+    )
+    profile.add_argument(
+        "--optimum", choices=OPTIMUM_MODES, default=None,
+        help="override the scenario's optimum mode (e.g. 'lower_bound' "
+        "to profile everything except the exact optimum)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=5,
+        help="how many slowest units to list (default: 5)",
+    )
+    profile.add_argument(
+        "--workers", type=int, default=1,
+        help="shard work units across N workers (default: serial)",
+    )
+    profile.add_argument(
+        "--backend", choices=BACKEND_NAMES, default="inline",
+        help="execution backend (default: 'inline' — serial timings "
+        "are the easiest to interpret)",
+    )
+    profile.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="serve repeated units from the result cache (default: off "
+        "— profiling wants to measure the computation, not cache reads)",
+    )
+    profile.add_argument(
+        "--cache-dir", default=DEFAULT_CACHE_DIR,
+        help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    _add_trace_flag(profile)
+
     return parser
 
 
@@ -371,7 +473,26 @@ def _run_demo(args: argparse.Namespace) -> str:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(verbose=args.verbose, quiet=args.log_quiet)
 
+    trace_path = getattr(args, "trace", None)
+    if trace_path and args.command != "profile":
+        # Run the whole command inside a telemetry session and write the
+        # JSONL sidecar after.  ``profile`` owns its session instead, so
+        # it can render the report before writing the trace.
+        with telemetry() as session:
+            code = _dispatch(args)
+        lines = write_trace(
+            trace_path, session, meta={"command": args.command}
+        )
+        logger.info(
+            "wrote telemetry trace (%d line(s)) to %s", lines, trace_path
+        )
+        return code
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "table1":
         rows = reproduce_table1(
             args.even, args.odd, args.ks,
@@ -425,6 +546,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_run_render(args))
     elif args.command == "demo":
         print(_run_demo(args))
+    elif args.command == "profile":
+        return _run_profile(args)
     return 0
 
 
@@ -597,6 +720,73 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if args.jsonl:
         report.store.to_jsonl(args.jsonl)
         print(f"wrote {len(report.store)} records to {args.jsonl}")
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """Profile a scenario slice and print the per-phase breakdown.
+
+    Cached results would hide the phases being profiled, so the cache
+    defaults to off here; ``--cache`` opts back in (the phase table then
+    mostly shows cache read latencies, which is occasionally the point).
+    """
+    scenario = get_scenario(args.scenario)
+    overrides: dict[str, object] = {}
+    if args.degrees is not None:
+        overrides["degrees"] = args.degrees
+    if args.sizes is not None:
+        overrides["sizes"] = args.sizes
+    if args.seeds is not None:
+        overrides["seeds"] = args.seeds
+    if args.measure is not None:
+        overrides["measure"] = args.measure
+    if args.optimum is not None:
+        overrides["optimum"] = args.optimum
+    if args.algorithms is not None:
+        unknown = set(args.algorithms) - set(algorithm_names())
+        if unknown:
+            print(f"ERROR: unknown algorithms {sorted(unknown)}",
+                  file=sys.stderr)
+            return 2
+        overrides["algorithms"] = args.algorithms
+    if overrides:
+        try:
+            scenario = scenario.override(**overrides)
+        except ValueError as exc:
+            print(f"ERROR: {exc}", file=sys.stderr)
+            return 2
+
+    units = scenario.expand()
+    if not units:
+        print("ERROR: the grid expanded to zero feasible work units",
+              file=sys.stderr)
+        return 2
+    if args.limit > 0:
+        units = units[: args.limit]
+
+    with telemetry() as session:
+        api.run_sweep(
+            units,
+            workers=max(1, args.workers),
+            cache=_engine_cache(args),
+            backend=args.backend,
+            progress=ProgressPrinter(
+                len(units), label=f"profile:{scenario.name}"
+            ),
+        )
+    print(render_report(
+        session,
+        top=args.top,
+        title=f"profile: {scenario.name} ({len(units)} unit(s), "
+        f"backend={args.backend})",
+    ))
+    if args.trace:
+        lines = write_trace(
+            args.trace, session, meta={"command": "profile"}
+        )
+        logger.info(
+            "wrote telemetry trace (%d line(s)) to %s", lines, args.trace
+        )
     return 0
 
 

@@ -24,6 +24,7 @@ why they ran the way they did.
 
 from __future__ import annotations
 
+import logging
 import time
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
@@ -33,6 +34,9 @@ from repro.engine.backends.process import ProcessBackend
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.engine.records import ResultRecord
     from repro.engine.spec import JobSpec
+    from repro.obs.spans import UnitTelemetry
+
+logger = logging.getLogger(__name__)
 
 __all__ = ["AutoBackend", "DEFAULT_FANOUT_THRESHOLD", "PROBE_UNITS"]
 
@@ -85,6 +89,7 @@ class AutoBackend(ExecutionBackend):
     def _commit(self, resolved: str, decision: str) -> None:
         self._resolved = resolved
         self.decision = decision
+        logger.debug("auto backend: %s", decision)
 
     def _measure_hint(self, pending: Sequence[tuple[int, "JobSpec"]]) -> str:
         """The units' unanimous scheduling hint, or ``""`` if mixed/none.
@@ -106,8 +111,8 @@ class AutoBackend(ExecutionBackend):
 
     def run(
         self, pending: Sequence[tuple[int, "JobSpec"]]
-    ) -> Iterator[tuple[int, "ResultRecord"]]:
-        from repro.engine.executor import execute_unit
+    ) -> Iterator[tuple[int, "ResultRecord", "UnitTelemetry | None"]]:
+        from repro.engine.executor import execute_unit_instrumented
 
         pending = list(pending)
         hint = self._measure_hint(pending) if pending else ""
@@ -119,7 +124,8 @@ class AutoBackend(ExecutionBackend):
             )
             if self.workers <= 1:
                 for index, spec in pending:
-                    yield index, execute_unit(spec)
+                    record, telemetry = execute_unit_instrumented(spec)
+                    yield index, record, telemetry
             else:
                 # The hint skips the probe, not the safety net: a unit
                 # that itself clears the threshold still re-escalates.
@@ -149,15 +155,16 @@ class AutoBackend(ExecutionBackend):
                 "amortise a pool",
             )
             for index, spec in pending:
-                yield index, execute_unit(spec)
+                record, telemetry = execute_unit_instrumented(spec)
+                yield index, record, telemetry
             return
 
         elapsed = 0.0
         for index, spec in pending[: self.probe]:
             started = self.clock()
-            record = execute_unit(spec)
+            record, telemetry = execute_unit_instrumented(spec)
             elapsed += self.clock() - started
-            yield index, record
+            yield index, record, telemetry
         per_unit = elapsed / self.probe
         remainder = pending[self.probe:]
 
@@ -183,16 +190,16 @@ class AutoBackend(ExecutionBackend):
 
     def _inline_provisional(
         self, remainder: Sequence[tuple[int, "JobSpec"]]
-    ) -> Iterator[tuple[int, "ResultRecord"]]:
+    ) -> Iterator[tuple[int, "ResultRecord", "UnitTelemetry | None"]]:
         """Inline execution, every unit on the clock; the first unit
         that itself clears the threshold re-escalates the rest."""
-        from repro.engine.executor import execute_unit
+        from repro.engine.executor import execute_unit_instrumented
 
         for position, (index, spec) in enumerate(remainder):
             started = self.clock()
-            record = execute_unit(spec)
+            record, telemetry = execute_unit_instrumented(spec)
             cost = self.clock() - started
-            yield index, record
+            yield index, record, telemetry
             rest = remainder[position + 1:]
             if cost >= self.threshold and len(rest) > 1:
                 self._commit(

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Iterator, Sequence
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.engine.records import ResultRecord
     from repro.engine.spec import JobSpec
+    from repro.obs.spans import UnitTelemetry
 
 __all__ = ["BACKEND_NAMES", "ExecutionBackend", "resolve_backend"]
 
@@ -26,8 +27,14 @@ __all__ = ["BACKEND_NAMES", "ExecutionBackend", "resolve_backend"]
 class ExecutionBackend:
     """Base class for execution backends.
 
-    Subclasses implement :meth:`run`, yielding ``(index, record)``
-    pairs in any order; the executor reassembles submission order.
+    Subclasses implement :meth:`run`, yielding ``(index, record,
+    telemetry)`` triples in any order; the executor reassembles
+    submission order.  The third element is the unit's
+    :class:`~repro.obs.spans.UnitTelemetry` (``None`` when telemetry is
+    off — and always ``None``-able: the executor also accepts bare
+    ``(index, record)`` pairs from third-party backends that predate
+    telemetry).  Telemetry travels *next to* the record, never inside
+    it, preserving the byte-identity contract for cached records.
     :meth:`describe` names what actually ran (e.g.
     ``"process(workers=4)"``) and :attr:`decision` carries a human-
     readable calibration note for backends that choose at run time.
@@ -40,7 +47,7 @@ class ExecutionBackend:
 
     def run(
         self, pending: Sequence[tuple[int, "JobSpec"]]
-    ) -> Iterator[tuple[int, "ResultRecord"]]:
+    ) -> Iterator[tuple[int, "ResultRecord", "UnitTelemetry | None"]]:
         """Execute *pending* units, yielding results as they finish."""
         raise NotImplementedError
 

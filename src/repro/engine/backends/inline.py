@@ -16,6 +16,7 @@ from repro.engine.backends.base import ExecutionBackend
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.engine.records import ResultRecord
     from repro.engine.spec import JobSpec
+    from repro.obs.spans import UnitTelemetry
 
 __all__ = ["InlineBackend"]
 
@@ -27,8 +28,9 @@ class InlineBackend(ExecutionBackend):
 
     def run(
         self, pending: Sequence[tuple[int, "JobSpec"]]
-    ) -> Iterator[tuple[int, "ResultRecord"]]:
-        from repro.engine.executor import execute_unit
+    ) -> Iterator[tuple[int, "ResultRecord", "UnitTelemetry | None"]]:
+        from repro.engine.executor import execute_unit_instrumented
 
         for index, spec in pending:
-            yield index, execute_unit(spec)
+            record, telemetry = execute_unit_instrumented(spec)
+            yield index, record, telemetry

@@ -18,6 +18,7 @@ InlineBackend` or let ``"auto"`` calibrate.
 from __future__ import annotations
 
 import importlib
+import logging
 import multiprocessing
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
@@ -29,8 +30,11 @@ from repro.registry.measures import get_measure
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.engine.records import ResultRecord
     from repro.engine.spec import JobSpec
+    from repro.obs.spans import UnitTelemetry
 
 __all__ = ["ProcessBackend"]
+
+logger = logging.getLogger(__name__)
 
 
 def _plugin_modules(units: Iterable["JobSpec"]) -> tuple[str, ...]:
@@ -59,21 +63,35 @@ def _plugin_modules(units: Iterable["JobSpec"]) -> tuple[str, ...]:
 
 
 def _worker(
-    payload: tuple[int, dict[str, Any], tuple[str, ...]]
-) -> tuple[int, dict[str, Any]]:
-    from repro.engine.executor import execute_unit
+    payload: tuple[int, dict[str, Any], tuple[str, ...], bool]
+) -> tuple[int, dict[str, Any], dict[str, Any] | None]:
+    from repro.engine.executor import execute_unit_instrumented
     from repro.engine.spec import JobSpec
+    from repro.obs.spans import set_collection
 
-    index, spec_dict, plugin_modules = payload
+    index, spec_dict, plugin_modules, collect_telemetry = payload
+    # The parent's telemetry switch doesn't exist in a ``spawn`` worker
+    # (fresh interpreter) and may be stale in a ``fork`` one, so every
+    # payload carries it.  Telemetry rides back as a plain dict next to
+    # the record dict — never inside it.
+    set_collection(collect_telemetry)
     for module in plugin_modules:
         try:
             importlib.import_module(module)
         except Exception:
             # If the plugin truly cannot be re-created here, resolution
             # below fails with the registry's name-listing error.
-            pass
-    record = execute_unit(JobSpec.from_json_dict(spec_dict))
-    return index, record.to_json_dict()
+            logger.warning(
+                "could not re-import plugin module %r in worker", module
+            )
+    record, telemetry = execute_unit_instrumented(
+        JobSpec.from_json_dict(spec_dict)
+    )
+    return (
+        index,
+        record.to_json_dict(),
+        telemetry.to_json_dict() if telemetry is not None else None,
+    )
 
 
 class ProcessBackend(ExecutionBackend):
@@ -89,20 +107,31 @@ class ProcessBackend(ExecutionBackend):
 
     def run(
         self, pending: Sequence[tuple[int, "JobSpec"]]
-    ) -> Iterator[tuple[int, "ResultRecord"]]:
-        from repro.engine.executor import execute_unit
+    ) -> Iterator[tuple[int, "ResultRecord", "UnitTelemetry | None"]]:
+        from repro.engine.executor import execute_unit_instrumented
         from repro.engine.records import ResultRecord
+        from repro.obs.spans import UnitTelemetry, collection_enabled
 
         pending = list(pending)
         if self.workers == 1 or len(pending) <= 1:
             # A pool of one (or for one unit) is pure overhead.
             for index, spec in pending:
-                yield index, execute_unit(spec)
+                record, telemetry = execute_unit_instrumented(spec)
+                yield index, record, telemetry
             return
         plugins = _plugin_modules(spec for _, spec in pending)
+        collect = collection_enabled()
         payloads = [
-            (index, spec.to_json_dict(), plugins) for index, spec in pending
+            (index, spec.to_json_dict(), plugins, collect)
+            for index, spec in pending
         ]
         with multiprocessing.Pool(min(self.workers, len(pending))) as pool:
-            for index, record_dict in pool.imap_unordered(_worker, payloads):
-                yield index, ResultRecord.from_json_dict(record_dict)
+            for index, record_dict, telemetry_dict in pool.imap_unordered(
+                _worker, payloads
+            ):
+                yield (
+                    index,
+                    ResultRecord.from_json_dict(record_dict),
+                    UnitTelemetry.from_json_dict(telemetry_dict)
+                    if telemetry_dict is not None else None,
+                )

@@ -19,6 +19,7 @@ from repro.engine.backends.base import ExecutionBackend
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.engine.records import ResultRecord
     from repro.engine.spec import JobSpec
+    from repro.obs.spans import UnitTelemetry
 
 __all__ = ["ThreadBackend"]
 
@@ -36,21 +37,25 @@ class ThreadBackend(ExecutionBackend):
 
     def run(
         self, pending: Sequence[tuple[int, "JobSpec"]]
-    ) -> Iterator[tuple[int, "ResultRecord"]]:
-        from repro.engine.executor import execute_unit
+    ) -> Iterator[tuple[int, "ResultRecord", "UnitTelemetry | None"]]:
+        from repro.engine.executor import execute_unit_instrumented
 
         pending = list(pending)
         if not pending:
             return
+        # Note: worker threads see the executor's process-wide telemetry
+        # switch, not its contextvars; each task installs its own span
+        # recorder, so units never share one.
         with ThreadPoolExecutor(
             max_workers=min(self.workers, len(pending))
         ) as pool:
             futures = {
-                pool.submit(execute_unit, spec): index
+                pool.submit(execute_unit_instrumented, spec): index
                 for index, spec in pending
             }
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
-                    yield futures[future], future.result()
+                    record, telemetry = future.result()
+                    yield futures[future], record, telemetry

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 import time
@@ -20,6 +21,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from repro.engine.spec import JobSpec, canonical_json
+from repro.obs.session import current_session
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -32,6 +34,8 @@ __all__ = [
     "parse_age",
     "parse_size",
 ]
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the record schema or unit semantics change incompatibly;
 #: old cache entries then simply stop matching.
@@ -164,19 +168,43 @@ class ResultCache:
         count as misses and are recomputed and overwritten.
         """
         path = self.path_for(key)
+        session = current_session()
+        started = time.perf_counter() if session is not None else 0.0
         try:
             with path.open("r", encoding="utf-8") as handle:
                 record = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            self.misses += 1
-            return None
+        except OSError:
+            return self._miss(session, started)
+        except json.JSONDecodeError:
+            logger.warning(
+                "corrupt cache entry %s — recomputing and overwriting", path
+            )
+            return self._miss(session, started)
         if not isinstance(record, dict):
-            self.misses += 1
-            return None
+            logger.warning(
+                "malformed cache entry %s (not a record) — recomputing", path
+            )
+            return self._miss(session, started)
         self.hits += 1
+        if session is not None:
+            session.metrics.inc("cache.hit")
+            session.metrics.observe(
+                "cache.read_s", time.perf_counter() - started
+            )
         return record
 
+    def _miss(self, session, started: float) -> None:
+        self.misses += 1
+        if session is not None:
+            session.metrics.inc("cache.miss")
+            session.metrics.observe(
+                "cache.read_s", time.perf_counter() - started
+            )
+        return None
+
     def put(self, key: str, record: dict[str, Any]) -> None:
+        session = current_session()
+        started = time.perf_counter() if session is not None else 0.0
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -192,6 +220,11 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if session is not None:
+            session.metrics.inc("cache.write")
+            session.metrics.observe(
+                "cache.write_s", time.perf_counter() - started
+            )
 
     def touch(self, key: str) -> None:
         """Refresh *key*'s mtime so write-age LRU treats it as fresh.
@@ -305,6 +338,9 @@ class ResultCache:
                     break
             survivors = kept
 
+        session = current_session()
+        if session is not None and removed:
+            session.metrics.inc("cache.evict", removed)
         return GcReport(
             removed=removed,
             freed_bytes=freed,

@@ -25,12 +25,21 @@ from repro.engine.backends.base import ExecutionBackend, resolve_backend
 from repro.engine.cache import GcReport, ResultCache, cache_key
 from repro.engine.records import ResultRecord, ResultStore
 from repro.engine.spec import JobSpec
+from repro.obs.session import TelemetrySession, current_session
+from repro.obs.spans import (
+    UnitTelemetry,
+    collection_enabled,
+    recording,
+    set_collection,
+    span,
+)
 from repro.registry.measures import get_measure
 
 __all__ = [
     "ExecutionReport",
     "ProgressPrinter",
     "execute_unit",
+    "execute_unit_instrumented",
     "run_units",
 ]
 
@@ -50,6 +59,35 @@ def execute_unit(spec: JobSpec) -> ResultRecord:
     """
     key = cache_key(spec)
     return get_measure(spec.measure).execute(spec, key)
+
+
+def execute_unit_instrumented(
+    spec: JobSpec,
+) -> tuple[ResultRecord, UnitTelemetry | None]:
+    """Execute one unit, collecting telemetry if enabled in this process.
+
+    The record is bit-for-bit the one :func:`execute_unit` produces —
+    telemetry travels *next to* it, never inside it, so cached bytes are
+    unaffected.  Returns ``(record, None)`` when collection is off (the
+    common case; the extra cost is one flag check).
+    """
+    if not collection_enabled():
+        return execute_unit(spec), None
+    started = time.perf_counter()
+    with recording() as rec:
+        with span("resolve", measure=spec.measure):
+            key = cache_key(spec)
+            measure = get_measure(spec.measure)
+        record = measure.execute(spec, key)
+    wall_s = time.perf_counter() - started
+    return record, UnitTelemetry.from_recorder(
+        rec,
+        key=key,
+        algorithm=spec.algorithm,
+        label=spec.graph.label(),
+        measure=spec.measure,
+        wall_s=wall_s,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -89,9 +127,15 @@ class ProgressPrinter:
             eta = "?"
         else:
             eta = "0s"
+        if computed > 0 and elapsed > 0:
+            rate = f" | {computed / elapsed:.1f} units/s"
+        else:
+            # All served from cache (or nothing done yet): a computed-
+            # unit throughput would be meaningless, so show none.
+            rate = ""
         self.stream.write(
             f"[{self.label}] {done}/{self.total} units "
-            f"({cached} cached) | elapsed {elapsed:.1f}s | eta {eta}\n"
+            f"({cached} cached) | elapsed {elapsed:.1f}s{rate} | eta {eta}\n"
         )
         self.stream.flush()
 
@@ -109,6 +153,10 @@ class ExecutionReport:
     calibration: str = ""
     #: The post-sweep cache eviction outcome, when a size cap was set.
     gc: GcReport | None = None
+    #: Wall-clock duration of the whole :func:`run_units` call.
+    wall_time_s: float = 0.0
+    #: The telemetry session that was active during execution, if any.
+    telemetry: TelemetrySession | None = None
 
     @property
     def records(self) -> list[ResultRecord]:
@@ -165,6 +213,8 @@ def run_units(
     refreshed first, so this run's records are the last to go.  The
     eviction outcome is reported on :attr:`ExecutionReport.gc`.
     """
+    started = time.perf_counter()
+    session = current_session()
     units = list(units)
     keys = [cache_key(unit) for unit in units]
     records: dict[int, ResultRecord] = {}
@@ -181,13 +231,29 @@ def run_units(
         progress(done, hits)
 
     resolved = resolve_backend(backend, workers=workers)
-    for index, record in resolved.run([(i, units[i]) for i in missing]):
-        records[index] = record
-        if cache is not None:
-            cache.put(keys[index], record.to_json_dict())
-        done += 1
-        if progress is not None:
-            progress(done, hits)
+    if session is not None:
+        # Flip the process-wide collection switch for the duration of
+        # the run: worker threads don't inherit our contextvars, so the
+        # session itself can't be their signal (the process backend
+        # forwards the flag to pool workers in the unit payload).
+        set_collection(True)
+    try:
+        for item in resolved.run([(i, units[i]) for i in missing]):
+            # Backends yield (index, record, telemetry); third-party
+            # backends predating telemetry may yield bare 2-tuples.
+            index, record = item[0], item[1]
+            unit_telemetry = item[2] if len(item) > 2 else None
+            records[index] = record
+            if cache is not None:
+                cache.put(keys[index], record.to_json_dict())
+            if session is not None and unit_telemetry is not None:
+                session.add_unit(unit_telemetry)
+            done += 1
+            if progress is not None:
+                progress(done, hits)
+    finally:
+        if session is not None:
+            set_collection(False)
 
     gc_report = None
     if cache is not None and cache_max_bytes is not None:
@@ -198,6 +264,11 @@ def run_units(
             cache.touch(key)
         gc_report = cache.gc(max_bytes=cache_max_bytes)
 
+    if session is not None:
+        session.note("backend", resolved.describe())
+        if resolved.decision:
+            session.note("calibration", resolved.decision)
+
     store = ResultStore(records[i] for i in range(len(units)))
     return ExecutionReport(
         store=store,
@@ -206,4 +277,6 @@ def run_units(
         backend=resolved.describe(),
         calibration=resolved.decision,
         gc=gc_report,
+        wall_time_s=time.perf_counter() - started,
+        telemetry=session,
     )

@@ -36,6 +36,7 @@ from repro.engine.spec import JobSpec, derive_seed
 from repro.exceptions import AlgorithmContractError
 from repro.lowerbounds.adversary import run_adversary
 from repro.lowerbounds.instance import LowerBoundInstance
+from repro.obs.spans import span
 from repro.portgraph.graph import PortNumberedGraph
 from repro.registry.algorithms import BoundAlgorithm, resolve
 from repro.registry.measures import AlgorithmRun, Measure, register_measure
@@ -72,33 +73,51 @@ def resolve_unit_algorithm(spec: JobSpec, key: str) -> BoundAlgorithm:
 
 
 def default_execute(measure: Measure, spec: JobSpec, key: str) -> ResultRecord:
-    """The shared pipeline: build, run, measure, assemble the record."""
-    graph = spec.graph.build()
+    """The shared pipeline: build, run, measure, assemble the record.
+
+    Each stage runs under a telemetry span (no-ops when telemetry is
+    off): ``graph_build``, ``resolve``, ``simulate`` (the runtime
+    annotates it with the engine name and round count), ``feasibility``
+    and ``measure:<name>`` — with the optimum computation nested inside
+    the measure span as its own ``optimum`` child.
+    """
+    with span("graph_build", family=spec.graph.family):
+        graph = spec.graph.build()
     if not isinstance(graph, PortNumberedGraph):
         raise AlgorithmContractError(
             f"measure {measure.name!r} needs a plain graph family, got "
             f"{spec.graph.family!r}"
         )
-    algorithm = resolve_unit_algorithm(spec, key)
+    with span("resolve", algorithm=spec.algorithm):
+        algorithm = resolve_unit_algorithm(spec, key)
 
     trace = None
-    if measure.needs_trace(spec) and algorithm.traced is not None:
-        result = algorithm.traced(graph)
-        edge_set, rounds, trace = result.edge_set(), result.rounds, result.trace
-    else:
-        edge_set, rounds = algorithm.run(graph)
+    with span("simulate", algorithm=spec.algorithm, traced=False) as sim:
+        if measure.needs_trace(spec) and algorithm.traced is not None:
+            if sim is not None:
+                sim.attrs["traced"] = True
+            result = algorithm.traced(graph)
+            edge_set, rounds, trace = (
+                result.edge_set(), result.rounds, result.trace
+            )
+        else:
+            edge_set, rounds = algorithm.run(graph)
 
-    if measure.check_feasible and not is_edge_dominating_set(graph, edge_set):
-        raise AlgorithmContractError(
-            f"{spec.algorithm} produced an infeasible output on "
-            f"{spec.display_label()}"
-        )
+    if measure.check_feasible:
+        with span("feasibility"):
+            feasible = is_edge_dominating_set(graph, edge_set)
+        if not feasible:
+            raise AlgorithmContractError(
+                f"{spec.algorithm} produced an infeasible output on "
+                f"{spec.display_label()}"
+            )
 
     run = AlgorithmRun(
         spec=spec, algorithm=algorithm, edge_set=edge_set,
         rounds=rounds, trace=trace,
     )
-    overrides = dict(measure.measure(graph, run))
+    with span(f"measure:{measure.name}"):
+        overrides = dict(measure.measure(graph, run))
     extra: dict[str, Any] = dict(overrides.pop("extra", {}))
     fields: dict[str, Any] = {
         "key": key,
@@ -145,6 +164,16 @@ class QualityMeasure(Measure):
 
     @staticmethod
     def _optimum(spec: JobSpec, graph: PortNumberedGraph) -> tuple[int, bool]:
+        with span("optimum", mode=spec.optimum) as opt:
+            value, exact = QualityMeasure._optimum_value(spec, graph)
+            if opt is not None:
+                opt.attrs["exact"] = exact
+        return value, exact
+
+    @staticmethod
+    def _optimum_value(
+        spec: JobSpec, graph: PortNumberedGraph
+    ) -> tuple[int, bool]:
         if spec.optimum == "none":
             return 0, False
         if spec.optimum == "exact":

@@ -1,0 +1,55 @@
+"""Observability: spans, metrics, telemetry sessions, traces, logging.
+
+The subsystem in one breath: instrumentation points throughout the
+engine and runtime call :func:`span` / :func:`~SpanRecorder.count`,
+which are no-ops unless a unit-level :class:`SpanRecorder` is installed;
+the executor installs one per computed unit whenever a command-level
+:class:`TelemetrySession` (:func:`telemetry`) is active, ships the
+resulting :class:`UnitTelemetry` across worker boundaries next to the
+result record, and aggregates everything into session metrics that
+:func:`render_report` prints and :func:`write_trace` exports as JSONL.
+
+Cached records never carry telemetry: keys and bytes are identical with
+the subsystem on or off.
+"""
+
+from repro.obs.logs import ROOT_LOGGER_NAME, configure_logging
+from repro.obs.metrics import MetricsRegistry, percentile, summarize
+from repro.obs.report import dominant_phase, render_report
+from repro.obs.session import TelemetrySession, current_session, telemetry
+from repro.obs.spans import (
+    Span,
+    SpanRecorder,
+    UnitTelemetry,
+    collection_enabled,
+    current_recorder,
+    recording,
+    set_collection,
+    span,
+    span_self_times,
+)
+from repro.obs.trace import TRACE_VERSION, write_trace
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "TRACE_VERSION",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "TelemetrySession",
+    "UnitTelemetry",
+    "collection_enabled",
+    "configure_logging",
+    "current_recorder",
+    "current_session",
+    "dominant_phase",
+    "percentile",
+    "recording",
+    "render_report",
+    "set_collection",
+    "span",
+    "span_self_times",
+    "summarize",
+    "telemetry",
+    "write_trace",
+]

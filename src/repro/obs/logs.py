@@ -1,0 +1,85 @@
+"""Logging configuration for the ``repro`` package.
+
+Every ``repro.*`` module gets its logger the standard way::
+
+    logger = logging.getLogger(__name__)
+
+All of those roll up to the package root logger ``"repro"``, which this
+module configures exactly once per process when the CLI starts.  Library
+use stays silent by default (no handler is installed unless
+:func:`configure_logging` is called), per the usual library etiquette.
+
+Verbosity mapping for the global CLI flags:
+
+* ``-q``            → WARNING (errors and warnings only)
+* default           → INFO
+* ``-v``            → DEBUG for ``repro.*``
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+__all__ = ["ROOT_LOGGER_NAME", "configure_logging"]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Marker attribute identifying the handler we installed, so repeated
+#: ``main()`` calls (tests, embedding) reconfigure instead of stacking
+#: duplicate handlers.
+_HANDLER_MARKER = "_repro_cli_handler"
+
+
+class _LiveStderr:
+    """A stream that resolves ``sys.stderr`` at every write.
+
+    Pinning the stderr object at configure time breaks under anything
+    that swaps ``sys.stderr`` later (pytest's capture replaces it per
+    test and closes the old one) — the handler would then raise into
+    logging's error handler on every record.
+    """
+
+    def write(self, text: str) -> int:
+        return sys.stderr.write(text)
+
+    def flush(self) -> None:
+        stream = sys.stderr
+        if hasattr(stream, "flush"):
+            stream.flush()
+
+
+def configure_logging(
+    *,
+    verbose: int = 0,
+    quiet: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Install/replace the CLI log handler on the ``repro`` root logger."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_MARKER, False):
+            root.removeHandler(handler)
+
+    if quiet:
+        level = logging.WARNING
+    elif verbose > 0:
+        level = logging.DEBUG
+    else:
+        level = logging.INFO
+
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else _LiveStderr())
+    setattr(handler, _HANDLER_MARKER, True)
+    if level == logging.DEBUG:
+        fmt = "%(levelname).1s %(name)s: %(message)s"
+    else:
+        fmt = "%(message)s"
+    handler.setFormatter(logging.Formatter(fmt))
+    root.addHandler(handler)
+    root.setLevel(level)
+    # Propagation to the global root logger stays on: the root usually
+    # has no handlers (so nothing double-prints), and severing it would
+    # blind root-level capture such as pytest's caplog.
+    return root

@@ -1,0 +1,107 @@
+"""Counters, gauges, and histograms aggregated across workers.
+
+A :class:`MetricsRegistry` is the session-level aggregate: the executor
+merges every computed unit's counters into it, the cache feeds it
+hit/miss counts and read/write latencies, and the report renderer reads
+its histograms for p50/p95/max summaries.
+
+Metric names used by the built-in instrumentation:
+
+======================================  =======================================
+``units.computed``                      counter — units actually executed
+``unit.wall_s``                         histogram — per-unit wall time
+``phase.<name>``                        histogram — per-unit phase self time
+``runtime.runs``                        counter — scheduler executions
+``runtime.rounds``                      counter — communication rounds
+``runtime.messages.delivered``          counter — messages delivered
+``runtime.messages.dropped``            counter — sends to halted nodes
+``cache.hit`` / ``cache.miss``          counters — result-cache lookups
+``cache.evict``                         counter — entries removed by gc
+``cache.read_s`` / ``cache.write_s``    histograms — cache IO latency
+======================================  =======================================
+
+Everything here is plain Python over plain dicts: no dependencies, no
+background threads, safe to pickle-merge across process boundaries.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+__all__ = ["MetricsRegistry", "percentile", "summarize"]
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Nearest-rank percentile of *values*; ``q`` in [0, 1]."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def summarize(values: Iterable[float]) -> dict[str, float]:
+    """count / total / p50 / p95 / max summary of a histogram's samples."""
+    ordered = sorted(values)
+    if not ordered:
+        return {"count": 0, "total": 0.0, "p50": 0.0, "p95": 0.0,
+                "max": 0.0}
+    return {
+        "count": len(ordered),
+        "total": sum(ordered),
+        "p50": percentile(ordered, 0.50),
+        "p95": percentile(ordered, 0.95),
+        "max": ordered[-1],
+    }
+
+
+class MetricsRegistry:
+    """Session-scoped counters, gauges, and histogram samples."""
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, list[float]] = {}
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        self.histograms.setdefault(name, []).append(value)
+
+    def merge_counters(self, counters: Mapping[str, float]) -> None:
+        for name, value in counters.items():
+            self.inc(name, value)
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def samples(self, name: str) -> list[float]:
+        return self.histograms.get(name, [])
+
+    def summary(self, name: str) -> dict[str, float]:
+        return summarize(self.histograms.get(name, ()))
+
+    def histogram_names(self, prefix: str = "") -> list[str]:
+        return sorted(
+            name for name in self.histograms if name.startswith(prefix)
+        )
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: {
+                    k: (round(v, 9) if isinstance(v, float) else v)
+                    for k, v in self.summary(name).items()
+                }
+                for name in sorted(self.histograms)
+            },
+        }

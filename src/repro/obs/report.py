@@ -1,0 +1,160 @@
+"""Render a telemetry session as a human-readable profile report.
+
+The centerpiece is the per-phase table: for each instrumented phase
+(``graph_build``, ``simulate``, ``optimum``, ``measure:quality``, …) it
+shows sample count, p50/p95/max *self* time per unit, the total, and the
+share of all unit wall time.  Self times (durations minus nested child
+spans) are what make the table sum up: phases plus the ``(unaccounted)``
+residual reconcile with total unit wall time instead of double-counting
+the optimum inside its enclosing measure.
+"""
+
+from __future__ import annotations
+
+from repro.obs.session import TelemetrySession
+from repro.obs.spans import UnitTelemetry
+
+__all__ = ["dominant_phase", "render_report"]
+
+
+def _format_table(headers, rows, *, title=None):
+    # Imported lazily: ``repro.analysis`` pulls in the runtime, and the
+    # runtime's modules import ``repro.obs.spans`` (which executes this
+    # package's ``__init__``) — a module-level import here would close
+    # that cycle.
+    from repro.analysis.report import format_table
+
+    return format_table(headers, rows, title=title)
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 100:
+        return f"{seconds:.0f}s"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def dominant_phase(unit: UnitTelemetry) -> str:
+    """The phase this unit spent most of its instrumented time in."""
+    phases = unit.phase_self_times()
+    if not phases:
+        return "-"
+    return max(phases.items(), key=lambda kv: kv[1])[0]
+
+
+def _phase_table(session: TelemetrySession) -> str:
+    wall_total = session.unit_wall_total_s()
+    rows = []
+    for name in session.phase_names():
+        s = session.metrics.summary(f"phase.{name}")
+        share = s["total"] / wall_total if wall_total else 0.0
+        rows.append((
+            name,
+            s["count"],
+            _fmt_s(s["p50"]),
+            _fmt_s(s["p95"]),
+            _fmt_s(s["max"]),
+            _fmt_s(s["total"]),
+            f"{share * 100:.1f}%",
+        ))
+    unaccounted = session.unaccounted_s()
+    share = unaccounted / wall_total if wall_total else 0.0
+    rows.append((
+        "(unaccounted)", "", "", "", "",
+        _fmt_s(max(0.0, unaccounted)), f"{share * 100:.1f}%",
+    ))
+    rows.append((
+        "total (unit wall)", len(session.units), "", "", "",
+        _fmt_s(wall_total), "100.0%" if wall_total else "-",
+    ))
+    return _format_table(
+        ["phase", "count", "p50", "p95", "max", "total", "share"],
+        rows,
+        title="per-phase self time",
+    )
+
+
+def _top_units_table(session: TelemetrySession, top: int) -> str:
+    rows = [
+        (
+            f"{unit.algorithm} @ {unit.label}",
+            unit.measure,
+            _fmt_s(unit.wall_s),
+            dominant_phase(unit),
+            unit.worker,
+        )
+        for unit in session.top_units(top)
+    ]
+    return _format_table(
+        ["unit", "measure", "wall", "dominant phase", "worker"],
+        rows,
+        title=f"top {len(rows)} slowest units",
+    )
+
+
+def _counter_lines(session: TelemetrySession) -> list[str]:
+    m = session.metrics
+    lines = []
+    computed = m.counter("units.computed")
+    wall = session.unit_wall_total_s()
+    if computed:
+        rate = f", {computed / wall:.2f} units/s" if wall else ""
+        lines.append(
+            f"units: {computed:g} computed in {_fmt_s(wall)} busy time"
+            f"{rate} (session elapsed {_fmt_s(session.elapsed_s)})"
+        )
+    rounds = m.counter("runtime.rounds")
+    if m.counter("runtime.runs"):
+        delivered = m.counter("runtime.messages.delivered")
+        dropped = m.counter("runtime.messages.dropped")
+        per_s = f", {rounds / wall:.1f} rounds/s" if wall else ""
+        lines.append(
+            f"runtime: {m.counter('runtime.runs'):g} runs, "
+            f"{rounds:g} rounds{per_s}; messages: {delivered:g} "
+            f"delivered, {dropped:g} dropped"
+        )
+    hits, misses = m.counter("cache.hit"), m.counter("cache.miss")
+    if hits or misses:
+        reads = m.summary("cache.read_s")
+        writes = m.summary("cache.write_s")
+        evicted = m.counter("cache.evict")
+        lines.append(
+            f"cache: {hits:g} hit(s), {misses:g} miss(es), "
+            f"{evicted:g} evicted; read p50 {_fmt_s(reads['p50'])} "
+            f"p95 {_fmt_s(reads['p95'])}, write p50 {_fmt_s(writes['p50'])}"
+        )
+    if session.worker_busy:
+        busiest = sorted(
+            session.worker_busy.items(), key=lambda kv: -kv[1]
+        )
+        shown = ", ".join(
+            f"{worker} {_fmt_s(busy)}" for worker, busy in busiest[:4]
+        )
+        more = f" (+{len(busiest) - 4} more)" if len(busiest) > 4 else ""
+        lines.append(f"workers: {len(busiest)} busy — {shown}{more}")
+    lines.extend(
+        f"{name}: {value}" for name, value in sorted(session.notes.items())
+    )
+    return lines
+
+
+def render_report(
+    session: TelemetrySession,
+    *,
+    top: int = 5,
+    title: str = "telemetry report",
+) -> str:
+    """Render the full profile: phase table, slowest units, counters."""
+    parts = [title, "=" * len(title), ""]
+    if not session.units:
+        parts.append("no units were computed (all served from cache?)")
+        parts.extend(_counter_lines(session))
+        return "\n".join(parts)
+    parts.append(_phase_table(session))
+    parts.append("")
+    if top > 0:
+        parts.append(_top_units_table(session, top))
+        parts.append("")
+    parts.extend(_counter_lines(session))
+    return "\n".join(parts)

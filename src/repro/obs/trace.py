@@ -1,0 +1,67 @@
+"""JSONL trace export for telemetry sessions.
+
+A trace is a *sidecar* file written wherever the user points ``--trace``
+— never into ``.repro-cache/``: cached records and their keys stay
+byte-identical whether tracing is on or off.
+
+Format: one JSON object per line.
+
+* line 1 — ``{"type": "meta", "version": 1, ...}`` (command, scenario,
+  whatever the caller passes),
+* one ``{"type": "unit", ...}`` line per computed unit, with its spans
+  (name, start offset, duration, parent index, attrs) and counters,
+* last line — ``{"type": "summary", ...}`` with the aggregated metrics
+  (histograms summarised to count/total/p50/p95/max), notes, and
+  per-worker busy time.
+
+The format is deliberately dumb enough to consume with ``jq`` or a
+five-line script; ``TRACE_VERSION`` guards future shape changes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.session import TelemetrySession
+
+__all__ = ["TRACE_VERSION", "write_trace"]
+
+TRACE_VERSION = 1
+
+
+def write_trace(
+    path: str | Path,
+    session: TelemetrySession,
+    *,
+    meta: Mapping[str, Any] | None = None,
+) -> int:
+    """Write *session* as a JSONL trace to *path*; returns line count."""
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    lines: list[dict[str, Any]] = [{
+        "type": "meta",
+        "version": TRACE_VERSION,
+        "created_unix": round(time.time(), 3),
+        **dict(meta or {}),
+    }]
+    for unit in session.units:
+        lines.append({"type": "unit", **unit.to_json_dict()})
+    lines.append({
+        "type": "summary",
+        "elapsed_s": round(session.elapsed_s, 9),
+        "metrics": session.metrics.to_json_dict(),
+        "notes": dict(session.notes),
+        "worker_busy_s": {
+            worker: round(busy, 9)
+            for worker, busy in sorted(session.worker_busy.items())
+        },
+    })
+    with open(target, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(json.dumps(line, sort_keys=False))
+            handle.write("\n")
+    return len(lines)

@@ -76,6 +76,9 @@ class BatchProgram(abc.ABC):
         "newly_halted",
         "record",
         "strict",
+        "collect",
+        "delivered",
+        "dropped",
         "total_send_rounds",
         "_initial_running",
         "_mate",
@@ -99,6 +102,11 @@ class BatchProgram(abc.ABC):
         self.newly_halted: list[int] = []
         self.record = False
         self.strict = False
+        #: Telemetry switch set by the scheduler when a span recorder is
+        #: active; when off, the round loop does no message counting.
+        self.collect = False
+        self.delivered = 0
+        self.dropped = 0
         #: Rounds whose sends are a *total broadcast* — every running
         #: node sends on every port.  While no node has halted yet, such
         #: a round writes every inbox slot and can drop nothing, so
@@ -181,8 +189,11 @@ class BatchProgram(abc.ABC):
             # Total broadcast, nobody halted: every slot gets written,
             # nothing can drop — route without bookkeeping and reset
             # the buffer wholesale afterwards.
-            for g, payload in self.send_all(rnd):
+            sends = self.send_all(rnd)
+            for g, payload in sends:
                 inbox[mate[g]] = payload
+            if self.collect:
+                self.delivered += len(sends)
             self.receive_all(rnd, inbox)
             inbox[:] = self._absent_template
             return None
@@ -202,8 +213,14 @@ class BatchProgram(abc.ABC):
                         f"node {nodes[port_node[target]]!r} in round "
                         f"{rnd} (strict_delivery is enabled)"
                     )
+                self.dropped += 1
                 if log is not None:
                     log.append((g, target, payload, True))
+
+        if self.collect:
+            # One inbox slot per delivered message (each port has a
+            # single sender through the involution).
+            self.delivered += len(written)
 
         self.receive_all(rnd, inbox)
 

@@ -24,6 +24,7 @@ recorded; now they are labelled).
 from __future__ import annotations
 
 from repro.exceptions import RoundLimitExceeded, SimulationError
+from repro.obs.spans import current_recorder
 from repro.portgraph.graph import PortNumberedGraph
 from repro.portgraph.ports import Node
 from repro.runtime.algorithm import NodeProgram
@@ -48,6 +49,9 @@ def execute_legacy(
     # of re-sorting the running set every round.
     node_order = sorted(programs, key=repr)
     rnd = 0
+    rec = current_recorder()
+    n_delivered = 0
+    n_dropped = 0
 
     while running:
         if rnd >= max_rounds:
@@ -83,10 +87,15 @@ def execute_legacy(
                         f"node {v!r} sent to halted node {u!r} in round "
                         f"{rnd} (strict_delivery is enabled)"
                     )
+                else:
+                    n_dropped += 1
                 if round_trace is not None:
                     round_trace.messages.append(
                         SentMessage((v, port), (u, j), payload, dropped)
                     )
+
+        if rec is not None:
+            n_delivered += sum(len(box) for box in inboxes.values())
 
         # 2. deliver and let nodes step / halt
         newly_halted: list[Node] = []
@@ -107,4 +116,8 @@ def execute_legacy(
     for v, prog in programs.items():
         assert prog.output is not None  # halted implies output set
         outputs[v] = prog.output
+    if rec is not None:
+        from repro.runtime.scheduler import _record_run
+
+        _record_run(rec, rnd, n_delivered, n_dropped)
     return RunResult(graph=graph, outputs=outputs, rounds=rnd, trace=trace)

@@ -47,6 +47,7 @@ from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 from repro.exceptions import RoundLimitExceeded, SimulationError
+from repro.obs.spans import current_recorder
 from repro.portgraph.graph import PortNumberedGraph
 from repro.portgraph.ports import Node, PortEdge
 from repro.runtime.algorithm import (
@@ -152,6 +153,13 @@ def _execute(
     touched: list[int] = []
     rounds_log: list | None = [] if record_trace else None
     rnd = 0
+    # Telemetry is sampled once per run, never per message: delivered
+    # messages are summed from the touched inboxes each round (only when
+    # a recorder is active), drops are counted in the already-rare
+    # halted-target branch.
+    rec = current_recorder()
+    n_delivered = 0
+    n_dropped = 0
 
     while num_running:
         if rnd >= max_rounds:
@@ -196,8 +204,13 @@ def _execute(
                             f"{nodes[tk]!r} in round {rnd} "
                             "(strict_delivery is enabled)"
                         )
+                    n_dropped += 1
                     if log is not None:
                         log.append((base + port - 1, target, payload, True))
+
+        if rec is not None:
+            for tk in touched:
+                n_delivered += len(inboxes[tk])
 
         # 2. deliver and let nodes step / halt
         newly_halted: list[int] = []
@@ -224,8 +237,19 @@ def _execute(
         out = progs[k].output
         assert out is not None  # halted implies output set
         outputs[v] = out
+    if rec is not None:
+        _record_run(rec, rnd, n_delivered, n_dropped)
     trace = trace_from_log(cg, rounds_log) if rounds_log is not None else None
     return RunResult(graph=graph, outputs=outputs, rounds=rnd, trace=trace)
+
+
+def _record_run(rec, rounds: int, delivered: float, dropped: float) -> None:
+    """Report one scheduler run's counters onto the active recorder."""
+    rec.count("runtime.runs")
+    rec.count("runtime.rounds", rounds)
+    rec.count("runtime.messages.delivered", delivered)
+    rec.count("runtime.messages.dropped", dropped)
+    rec.annotate(rounds=rounds)
 
 
 def _execute_batch(
@@ -238,6 +262,8 @@ def _execute_batch(
     """The batch round loop: one :meth:`BatchProgram.step_all` per round."""
     batch.record = record_trace
     batch.strict = strict_delivery
+    rec = current_recorder()
+    batch.collect = rec is not None
     inbox = batch.make_inbox()
     rounds_log: list | None = [] if record_trace else None
     rnd = 0
@@ -259,8 +285,18 @@ def _execute_batch(
         out = batch.outputs[k]
         assert out is not None  # loop exits only when all nodes halted
         outputs[v] = out
+    if rec is not None:
+        _record_run(rec, rnd, batch.delivered, batch.dropped)
+        rec.annotate(batch=True)
     trace = trace_from_log(cg, rounds_log) if rounds_log is not None else None
     return RunResult(graph=graph, outputs=outputs, rounds=rnd, trace=trace)
+
+
+def _annotate_engine(resolved: str) -> None:
+    """Tag the enclosing telemetry span (if any) with the engine name."""
+    rec = current_recorder()
+    if rec is not None:
+        rec.annotate(engine=resolved)
 
 
 def _run_programs(
@@ -310,6 +346,7 @@ def run_anonymous(
     (see :mod:`repro.runtime.batch`) is stepped all-nodes-at-once.
     """
     resolved = _resolve_engine(engine)
+    _annotate_engine(resolved)
     if resolved == "compiled":
         make_batch = getattr(algorithm, "batch_program", None)
         if make_batch is not None:
@@ -354,6 +391,7 @@ def run_identified(
         raise SimulationError("node identifiers must be unique")
 
     resolved = _resolve_engine(engine)
+    _annotate_engine(resolved)
     if resolved == "compiled":
         make_batch = getattr(algorithm, "batch_program", None)
         if make_batch is not None:

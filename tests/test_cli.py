@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -276,3 +278,115 @@ class TestDemoRegistryIntegration:
                      "--algorithm", "randomized_matching"])
         assert code == 0
         assert "randomized_matching" in capsys.readouterr().out
+
+
+class TestProfileCommand:
+    def test_profile_prints_phase_table(self, capsys):
+        code = main(["profile", "--scenario", "default", "--limit", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-phase self time" in out
+        assert "p50" in out and "p95" in out
+        assert "simulate" in out
+        assert "total (unit wall)" in out
+        assert "top" in out and "slowest units" in out
+        assert "runtime:" in out and "delivered" in out
+
+    def test_profile_writes_trace(self, capsys, tmp_path):
+        trace = tmp_path / "profile.jsonl"
+        code = main(["profile", "--scenario", "default", "--limit", "2",
+                     "--trace", str(trace)])
+        assert code == 0
+        lines = [json.loads(line) for line in
+                 trace.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["command"] == "profile"
+        assert sum(1 for line in lines if line["type"] == "unit") == 2
+        assert lines[-1]["type"] == "summary"
+
+    def test_profile_optimum_override(self, capsys, tmp_path):
+        trace = tmp_path / "lb.jsonl"
+        code = main(["profile", "--scenario", "default", "--limit", "2",
+                     "--optimum", "lower_bound", "--trace", str(trace)])
+        assert code == 0
+        spans = [
+            span
+            for line in map(json.loads, trace.read_text().splitlines())
+            if line["type"] == "unit"
+            for span in line["spans"]
+            if span["name"] == "optimum"
+        ]
+        assert spans  # the optimum phase ran...
+        for span in spans:  # ...in the overridden, non-exact mode
+            assert span["attrs"]["mode"] == "lower_bound"
+            assert span["attrs"]["exact"] is False
+
+    def test_profile_rejects_unknown_algorithm(self, capsys):
+        code = main(["profile", "--algorithms", "bogus"])
+        assert code == 2
+        assert "unknown algorithms" in capsys.readouterr().err
+
+    def test_profile_rejects_empty_grid(self, capsys):
+        code = main(["profile", "--degrees", "3", "--sizes", "3"])
+        assert code == 2
+        assert "zero feasible" in capsys.readouterr().err
+
+    def test_profile_all_cached_renders_empty_report(
+        self, capsys, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["profile", "--scenario", "default", "--limit", "2",
+                "--cache", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "no units were computed" in out
+        assert "cache: 2 hit(s)" in out
+
+
+class TestTraceFlag:
+    def test_sweep_trace_sidecar(self, capsys, tmp_path):
+        trace = tmp_path / "sweep.jsonl"
+        code = main(["sweep", "--degrees", "2", "--sizes", "12",
+                     "--seeds", "1", "--quiet", "--no-cache",
+                     "--trace", str(trace)])
+        assert code == 0
+        lines = [json.loads(line) for line in
+                 trace.read_text().splitlines()]
+        assert lines[0]["command"] == "sweep"
+        assert any(line["type"] == "unit" for line in lines)
+
+    def test_trace_never_lands_in_cache_dir(self, capsys, tmp_path):
+        """Cache entries written under --trace are byte-identical to the
+        ones a traceless run writes — telemetry stays out of the cache."""
+        plain_dir = tmp_path / "plain"
+        traced_dir = tmp_path / "traced"
+        base = ["sweep", "--degrees", "2", "--sizes", "12", "--seeds",
+                "1", "--quiet"]
+        assert main([*base, "--cache-dir", str(plain_dir)]) == 0
+        assert main([*base, "--cache-dir", str(traced_dir),
+                     "--trace", str(tmp_path / "t.jsonl")]) == 0
+        plain = sorted(plain_dir.glob("*/*.json"))
+        traced = sorted(traced_dir.glob("*/*.json"))
+        assert [p.name for p in plain] == [p.name for p in traced]
+        for a, b in zip(plain, traced):
+            assert a.read_bytes() == b.read_bytes()
+        # and the trace itself is elsewhere
+        assert not list(traced_dir.glob("**/*.jsonl"))
+
+    def test_global_verbose_and_quiet_flags_parse(self, capsys):
+        assert main(["-v", "demo", "-n", "8"]) == 0
+        capsys.readouterr()
+        assert main(["-q", "demo", "-n", "8"]) == 0
+        assert "demo run" in capsys.readouterr().out
+
+    def test_subcommand_quiet_is_independent(self):
+        args = build_parser().parse_args(
+            ["-q", "sweep", "--quiet"]
+        )
+        assert args.log_quiet is True
+        assert args.quiet is True
+        args = build_parser().parse_args(["sweep"])
+        assert args.log_quiet is False
+        assert args.quiet is False

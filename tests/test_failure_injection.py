@@ -2,7 +2,10 @@
 
 A production-quality simulator fails loudly on misbehaving programs
 rather than producing silently wrong science.  These tests feed the
-scheduler programs that break each rule in turn.
+scheduler programs that break each rule in turn — and check that the
+degraded-but-legal case (sends to halted nodes, silently dropped) is
+*observable*: the runtime reports delivered/dropped message counts
+through the telemetry recorder, identically on every engine.
 """
 
 from __future__ import annotations
@@ -15,8 +18,9 @@ from repro.exceptions import (
     RoundLimitExceeded,
     SimulationError,
 )
+from repro.obs import recording
 from repro.portgraph import from_networkx
-from repro.runtime import NodeProgram, run_anonymous
+from repro.runtime import ENGINES, NodeProgram, run_anonymous, use_engine
 from repro.runtime.outputs import decode_edge_set
 
 
@@ -106,6 +110,69 @@ class TestSchedulerGuards:
     def test_round_limit_message_mentions_counts(self, triangle_graph):
         with pytest.raises(RoundLimitExceeded, match="3 node"):
             run_anonymous(triangle_graph, Spins, max_rounds=5)
+
+
+class HaltsEarlyAtLeaves(NodeProgram):
+    """Degree-1 nodes halt after the first round; the middle node keeps
+    broadcasting for two more rounds, so its sends drop."""
+
+    def send(self, rnd):
+        return {i: rnd for i in range(1, self.degree + 1)}
+
+    def receive(self, rnd, inbox):
+        if self.degree == 1 or rnd >= 2:
+            self.halt(frozenset())
+
+
+class TestDeliveryTelemetry:
+    """Dropped sends are legal but must be observable (SentMessage.dropped
+    end-to-end: trace label, strict-mode error, and runtime counters)."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_delivered_and_dropped_counted(self, engine):
+        # path 0-1-2: round 0 delivers 4 messages everywhere; rounds 1-2
+        # the middle node broadcasts 2 messages each to halted leaves.
+        graph = from_networkx(nx.path_graph(3))
+        with recording() as rec:
+            with use_engine(engine):
+                result = run_anonymous(graph, HaltsEarlyAtLeaves)
+        assert result.rounds == 3
+        assert rec.counters["runtime.runs"] == 1
+        assert rec.counters["runtime.rounds"] == 3
+        assert rec.counters["runtime.messages.delivered"] == 4
+        assert rec.counters["runtime.messages.dropped"] == 4
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_counters_match_trace_labels(self, engine):
+        """The counters agree with the ground truth in the full trace."""
+        graph = from_networkx(nx.path_graph(3))
+        with recording() as rec:
+            with use_engine(engine):
+                result = run_anonymous(
+                    graph, HaltsEarlyAtLeaves, record_trace=True
+                )
+        messages = [
+            m for rnd in result.trace.rounds for m in rnd.messages
+        ]
+        delivered = sum(1 for m in messages if not m.dropped)
+        dropped = sum(1 for m in messages if m.dropped)
+        assert rec.counters["runtime.messages.delivered"] == delivered
+        assert rec.counters["runtime.messages.dropped"] == dropped
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_strict_delivery_rejects_the_same_run(self, engine):
+        graph = from_networkx(nx.path_graph(3))
+        with use_engine(engine):
+            with pytest.raises(SimulationError, match="halted"):
+                run_anonymous(
+                    graph, HaltsEarlyAtLeaves, strict_delivery=True
+                )
+
+    def test_no_recorder_no_counters(self):
+        """Without a recorder the run is untouched (no-op fast path)."""
+        graph = from_networkx(nx.path_graph(3))
+        result = run_anonymous(graph, HaltsEarlyAtLeaves)
+        assert result.rounds == 3
 
 
 class TestOutputGuards:

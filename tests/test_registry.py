@@ -388,15 +388,16 @@ class TestWorkerPluginPropagation:
             unit = JobSpec("plug_all_edges", GraphSpec.make("cycle", n=6))
             modules = _plugin_modules([unit])
             assert modules == ("eds_plugin_mod",)
-            payload = (0, unit.to_json_dict(), modules)
+            payload = (0, unit.to_json_dict(), modules, False)
 
             # simulate a spawn worker: fresh interpreter = no plugin
             ALGORITHMS.unregister("plug_all_edges")
             sys.modules.pop("eds_plugin_mod")
 
-            index, record = _worker(payload)
+            index, record, telemetry = _worker(payload)
             assert index == 0
             assert record["solution_size"] == 6
+            assert telemetry is None
         finally:
             sys.modules.pop("eds_plugin_mod", None)
             if "plug_all_edges" in ALGORITHMS:

@@ -1,0 +1,344 @@
+"""Tests for the telemetry subsystem (``repro.obs``).
+
+The contracts under test:
+
+* spans are a no-op when nothing records, nest correctly when something
+  does, and self times never double-count nested phases;
+* a telemetry session aggregates identically whether units ran inline
+  or crossed a process boundary (``UnitTelemetry`` JSON round-trip);
+* telemetry never perturbs results — records and their cached bytes are
+  byte-identical with telemetry on or off, on every backend;
+* phase sums reconcile with unit wall time;
+* the JSONL trace export is valid line-delimited JSON with the
+  documented line types;
+* the execution report gains ``wall_time_s`` and the progress printer
+  only shows a units/s rate when units were actually computed.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import api
+from repro.engine import ResultCache, SweepGrid, run_units
+from repro.engine.executor import (
+    ProgressPrinter,
+    execute_unit,
+    execute_unit_instrumented,
+)
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    UnitTelemetry,
+    collection_enabled,
+    current_recorder,
+    percentile,
+    recording,
+    set_collection,
+    span,
+    span_self_times,
+    summarize,
+    telemetry,
+    write_trace,
+)
+
+GRID = SweepGrid(
+    name="telemetry-test",
+    algorithms=("port_one", "bounded_degree"),
+    family="regular",
+    degrees=(2, 3),
+    sizes=(12,),
+    seeds=1,
+)
+
+
+def units():
+    return GRID.expand()
+
+
+# ---------------------------------------------------------------------------
+# Span mechanics
+# ---------------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_span_is_noop_without_recorder(self):
+        assert current_recorder() is None
+        with span("anything", attr=1) as s:
+            assert s is None
+
+    def test_recording_installs_and_removes_recorder(self):
+        with recording() as rec:
+            assert current_recorder() is rec
+        assert current_recorder() is None
+
+    def test_nested_spans_record_parents(self):
+        with recording() as rec:
+            with span("outer"):
+                with span("inner"):
+                    pass
+                with span("inner2"):
+                    pass
+        names = [s.name for s in rec.spans]
+        assert names == ["outer", "inner", "inner2"]
+        assert rec.spans[0].parent is None
+        assert rec.spans[1].parent == 0
+        assert rec.spans[2].parent == 0
+
+    def test_self_times_exclude_children(self):
+        # Scripted clock: outer spans 0..10s, the inner child 1..3s.
+        readings = iter([0.0, 0.0, 1.0, 3.0, 10.0])
+        rec = SpanRecorder(clock=lambda: next(readings))
+        outer = rec.open("outer")
+        inner = rec.open("inner")
+        rec.close(inner)
+        rec.close(outer)
+        selfs = span_self_times(rec.spans)
+        assert selfs[outer] == pytest.approx(8.0)
+        assert selfs[inner] == pytest.approx(2.0)
+
+    def test_annotate_attaches_to_innermost_open_span(self):
+        with recording() as rec:
+            with span("simulate"):
+                rec.annotate(engine="compiled", rounds=7)
+        assert rec.spans[0].attrs["engine"] == "compiled"
+        assert rec.spans[0].attrs["rounds"] == 7
+
+    def test_counters_accumulate(self):
+        with recording() as rec:
+            rec.count("x")
+            rec.count("x", 4)
+        assert rec.counters == {"x": 5}
+
+    def test_unit_telemetry_json_round_trip(self):
+        with recording() as rec:
+            with span("simulate", engine="compiled"):
+                rec.count("runtime.rounds", 12)
+        unit = UnitTelemetry.from_recorder(
+            rec, key="k" * 64, algorithm="port_one", label="test",
+            measure="quality", wall_s=0.5,
+        )
+        clone = UnitTelemetry.from_json_dict(
+            json.loads(json.dumps(unit.to_json_dict()))
+        )
+        assert clone.key == unit.key
+        assert clone.counters == unit.counters
+        assert [s.name for s in clone.spans] == ["simulate"]
+        assert clone.spans[0].attrs == {"engine": "compiled"}
+        assert clone.phase_self_times() == pytest.approx(
+            unit.phase_self_times()
+        )
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(values, 0.5) == 5.0
+        assert percentile(values, 0.95) == 10.0
+        assert percentile([42.0], 0.5) == 42.0
+
+    def test_summarize(self):
+        s = summarize([3.0, 1.0, 2.0])
+        assert s["count"] == 3
+        assert s["total"] == pytest.approx(6.0)
+        assert s["max"] == 3.0
+
+    def test_registry_merge_and_histograms(self):
+        m = MetricsRegistry()
+        m.inc("a", 2)
+        m.merge_counters({"a": 3, "b": 1})
+        m.observe("phase.simulate", 0.25)
+        assert m.counter("a") == 5
+        assert m.counter("b") == 1
+        assert m.histogram_names(prefix="phase.") == ["phase.simulate"]
+
+
+# ---------------------------------------------------------------------------
+# Instrumented execution
+# ---------------------------------------------------------------------------
+
+
+class TestInstrumentedExecution:
+    def test_disabled_path_returns_no_telemetry(self):
+        assert not collection_enabled()
+        record, unit_telemetry = execute_unit_instrumented(units()[0])
+        assert unit_telemetry is None
+        assert record == execute_unit(units()[0])
+
+    def test_enabled_path_matches_plain_record(self):
+        spec = units()[0]
+        set_collection(True)
+        try:
+            record, unit_telemetry = execute_unit_instrumented(spec)
+        finally:
+            set_collection(False)
+        assert record.canonical() == execute_unit(spec).canonical()
+        assert unit_telemetry is not None
+        phases = unit_telemetry.phase_self_times()
+        for expected in ("resolve", "graph_build", "simulate"):
+            assert expected in phases
+        # Phase self times reconcile with (stay within) unit wall time.
+        assert sum(phases.values()) <= unit_telemetry.wall_s
+        assert unit_telemetry.counters["runtime.runs"] >= 1
+        assert unit_telemetry.counters["runtime.rounds"] >= 1
+
+    def test_session_aggregates_and_reconciles(self):
+        with telemetry() as session:
+            report = run_units(units(), backend="inline")
+        assert report.telemetry is session
+        assert len(session.units) == len(units())
+        assert session.metrics.counter("units.computed") == len(units())
+        assert session.metrics.counter("runtime.runs") == len(units())
+        assert session.metrics.counter("runtime.messages.delivered") > 0
+        # Reconciliation: phase self-time total never exceeds wall total.
+        assert session.phase_total_s() <= session.unit_wall_total_s()
+        assert session.unaccounted_s() >= 0.0
+        # Collection switch was restored afterwards.
+        assert not collection_enabled()
+
+    @pytest.mark.parametrize("backend", ["inline", "thread", "process"])
+    def test_aggregation_identical_across_backends(self, backend):
+        """The process round-trip (telemetry serialised into the worker
+        payload and back) must lose nothing: deterministic counters
+        aggregate exactly as they do inline."""
+        with telemetry() as inline_session:
+            run_units(units(), backend="inline")
+        with telemetry() as session:
+            run_units(units(), backend=backend, workers=2)
+        for name in ("runtime.runs", "runtime.rounds",
+                     "runtime.messages.delivered",
+                     "runtime.messages.dropped", "units.computed"):
+            assert session.metrics.counter(name) == (
+                inline_session.metrics.counter(name)
+            ), name
+        assert sorted(u.key for u in session.units) == sorted(
+            u.key for u in inline_session.units
+        )
+
+    @pytest.mark.parametrize("backend", ["inline", "process"])
+    def test_records_byte_identical_with_and_without_telemetry(
+        self, backend
+    ):
+        """Telemetry travels next to records, never inside them."""
+        plain = [r.canonical() for r in run_units(units()).records]
+        with telemetry():
+            observed = run_units(
+                units(), backend=backend, workers=2
+            ).records
+        assert [r.canonical() for r in observed] == plain
+
+    def test_cached_bytes_unchanged_by_telemetry(self, tmp_path):
+        """The cache files a telemetry run writes are byte-identical to
+        the ones a plain run writes — traces never leak into the cache."""
+        cold = ResultCache(tmp_path / "cold")
+        run_units(units(), cache=cold)
+        warm = ResultCache(tmp_path / "warm")
+        with telemetry():
+            run_units(units(), cache=warm)
+        for key in cold.keys():
+            assert (
+                warm.path_for(key).read_bytes()
+                == cold.path_for(key).read_bytes()
+            )
+
+    def test_cache_hit_and_miss_metrics(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        with telemetry() as session:
+            run_units(units(), cache=cache)
+        n = len(units())
+        assert session.metrics.counter("cache.miss") == n
+        assert session.metrics.counter("cache.write") == n
+        with telemetry() as session:
+            run_units(units(), cache=cache)
+        assert session.metrics.counter("cache.hit") == n
+        assert session.metrics.counter("units.computed") == 0
+
+    def test_wall_time_recorded(self):
+        report = run_units(units()[:1])
+        assert report.wall_time_s > 0.0
+        assert report.telemetry is None
+
+
+# ---------------------------------------------------------------------------
+# Trace export
+# ---------------------------------------------------------------------------
+
+
+class TestTraceExport:
+    def test_trace_is_valid_jsonl(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with telemetry() as session:
+            run_units(units(), backend="inline")
+        lines = write_trace(path, session, meta={"command": "test"})
+        parsed = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert len(parsed) == lines == len(units()) + 2
+        assert parsed[0]["type"] == "meta"
+        assert parsed[0]["command"] == "test"
+        assert all(p["type"] == "unit" for p in parsed[1:-1])
+        assert parsed[-1]["type"] == "summary"
+        assert parsed[-1]["metrics"]["counters"]["units.computed"] == (
+            len(units())
+        )
+        # Every unit line round-trips into UnitTelemetry.
+        for p in parsed[1:-1]:
+            unit = UnitTelemetry.from_json_dict(p)
+            assert unit.spans
+
+    def test_trace_of_empty_session(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        with telemetry() as session:
+            pass
+        assert write_trace(path, session) == 2  # meta + summary
+
+
+# ---------------------------------------------------------------------------
+# Progress reporting
+# ---------------------------------------------------------------------------
+
+
+class TestProgressPrinter:
+    def _lines(self, printer, stream):
+        return [line for line in stream.getvalue().splitlines() if line]
+
+    def test_shows_rate_when_computing(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(4, stream=stream, min_interval=0.0)
+        printer(2, 0)
+        assert "units/s" in stream.getvalue()
+
+    def test_all_cached_run_shows_no_rate(self):
+        """computed == 0: a throughput number would be meaningless."""
+        stream = io.StringIO()
+        printer = ProgressPrinter(4, stream=stream, min_interval=0.0)
+        printer(4, 4)
+        out = stream.getvalue()
+        assert "4/4 units (4 cached)" in out
+        assert "units/s" not in out
+        assert "eta 0s" in out
+
+    def test_zero_done_shows_no_rate(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(4, stream=stream, min_interval=0.0)
+        printer(0, 0)
+        out = stream.getvalue()
+        assert "units/s" not in out
+        assert "eta ?" in out
+
+
+# ---------------------------------------------------------------------------
+# Public API surface
+# ---------------------------------------------------------------------------
+
+
+class TestApiSurface:
+    def test_run_sweep_exposes_telemetry_session(self):
+        with telemetry() as session:
+            report = api.run_sweep(units(), backend="inline")
+        assert report.telemetry is session
+        assert report.wall_time_s > 0.0
