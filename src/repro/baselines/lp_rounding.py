@@ -18,6 +18,16 @@ schedule keeps the fractional objective within an ``O(log Δ)`` factor
 of the LP optimum.  All arithmetic is exact (:class:`~fractions.
 Fraction`), so both endpoints of an edge always agree on its value.
 
+The update rule is the shared covering-LP loop of
+:mod:`repro.bounds.fractional` run by message passing: an edge doubles
+exactly when a violated closed neighbourhood ``N[f]`` contains it,
+which an endpoint detects as "my own or a neighbour's constraint is
+violated".  :func:`repro.bounds.fractional.solve_covering_lp` on
+:func:`~repro.bounds.fractional.line_graph_covering_instance` produces
+the same values variable-for-variable (the test suite proves it), and
+the certified-bounds subsystem runs the identical loop on the vertex
+cover LP for its dual certificates.
+
 Act II — randomised rounding.  Each edge enters the candidate set with
 probability ``min(1, x_e · ln(2Δ))``; the two endpoints flip
 independently and OR their coins (one exchanged message), which keeps
@@ -37,14 +47,10 @@ import random
 from fractions import Fraction
 from typing import Mapping
 
+from repro.bounds.fractional import doubling_phases
 from repro.runtime.algorithm import Message, NodeProgram
 
 __all__ = ["LPRoundingEDS", "doubling_phases"]
-
-
-def doubling_phases(delta: int) -> int:
-    """Phases until ``x = 1/(2Δ)`` provably reaches 1: ``⌈log2(2Δ)⌉``."""
-    return max(1, (2 * max(1, delta) - 1).bit_length())
 
 
 class LPRoundingEDS(NodeProgram):

@@ -1,0 +1,263 @@
+"""The certified-bounds protocol: :class:`BoundResult` + certificates.
+
+Every bounds engine — primal (:mod:`repro.bounds.primal`), dual
+(:mod:`repro.bounds.dual`), exact (:mod:`repro.bounds.exact`) — returns
+the same shape: a :class:`BoundResult` bracketing the maximum matching
+size ``ν(G)`` with ``lower <= ν <= upper`` and carrying the evidence as
+a *certificate*.  The certificates are self-contained mathematical
+objects, not solver state:
+
+* :class:`MatchingCertificate` — a set of edges claimed to be a
+  matching; any valid matching proves ``ν >= |M|``, and a *maximal* one
+  additionally proves ``ν <= 2|M|`` (every matched edge of an optimum
+  matching touches ``M``) and that ``M`` itself is a feasible EDS.
+* :class:`CoverCertificate` — a fractional vertex cover ``y``; weak LP
+  duality gives ``ν <= Σy``, and since ``ν`` is an integer,
+  ``ν <= ⌊Σy⌋``.
+* :class:`SandwichCertificate` — both at once, the output of
+  :func:`repro.bounds.nu_sandwich`.
+
+:func:`verify_certificate` re-derives the claimed bounds from the
+certificate alone, edge by edge, entirely in ``int``/:class:`~fractions.
+Fraction` arithmetic — no floats, no trust in the engine that produced
+the result.  A bound that passes is *proven* for the given graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Union
+
+from repro.exceptions import CertificateError
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.ports import Node, PortEdge
+
+__all__ = [
+    "BoundResult",
+    "CoverCertificate",
+    "MatchingCertificate",
+    "SandwichCertificate",
+    "verify_certificate",
+]
+
+
+@dataclass(frozen=True)
+class MatchingCertificate:
+    """A matching ``M`` in the host graph; proves ``ν >= |M|``.
+
+    With ``maximal=True`` the certificate additionally claims no edge of
+    the graph has both endpoints unmatched, which proves ``ν <= 2|M|``
+    and makes ``M`` a feasible edge dominating set.
+    """
+
+    edges: frozenset[PortEdge]
+    maximal: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.edges)
+
+
+@dataclass(frozen=True)
+class CoverCertificate:
+    """A fractional vertex cover ``y``; proves ``ν <= ⌊Σy⌋``.
+
+    ``values`` is sparse: nodes not present carry ``y = 0``.  Feasibility
+    means ``y_u + y_v >= 1`` for every edge ``{u, v}``.
+    """
+
+    values: Mapping[Node, Fraction]
+
+    @property
+    def objective(self) -> Fraction:
+        return sum(self.values.values(), Fraction(0))
+
+    @property
+    def bound(self) -> int:
+        """``⌊Σy⌋`` — the certified integer upper bound on ν."""
+        total = self.objective
+        return total.numerator // total.denominator
+
+
+@dataclass(frozen=True)
+class SandwichCertificate:
+    """Primal matching and dual cover together: a two-sided ν bracket."""
+
+    matching: MatchingCertificate
+    cover: CoverCertificate
+
+
+Certificate = Union[MatchingCertificate, CoverCertificate,
+                    SandwichCertificate]
+
+
+@dataclass(frozen=True)
+class BoundResult:
+    """The common return shape of every bounds engine.
+
+    ``lower <= ν(G) <= upper``; ``exact`` means the two coincide *and*
+    the value is known to be ν (not merely a zero-width accident).  The
+    certificate, when present, lets :func:`verify_certificate` re-prove
+    both bounds independently of the engine.
+    """
+
+    lower: int
+    upper: int
+    certificate: Certificate | None
+    exact: bool
+
+    @property
+    def gap(self) -> int:
+        """``upper - lower`` — the width of the ν bracket."""
+        return self.upper - self.lower
+
+
+def _check_matching(
+    graph: PortNumberedGraph, cert: MatchingCertificate
+) -> int:
+    """Re-prove the matching certificate; returns the certified ``|M|``."""
+    graph_edges = set(graph.edges)
+    matched: set[Node] = set()
+    for e in cert.edges:
+        if e not in graph_edges:
+            raise CertificateError(
+                f"matching certificate contains non-edge {e!r}"
+            )
+        if e.is_loop:
+            raise CertificateError(
+                f"matching certificate contains loop {e!r}"
+            )
+        if e.u in matched or e.v in matched:
+            raise CertificateError(
+                f"matching certificate is not a matching at {e!r}"
+            )
+        matched.add(e.u)
+        matched.add(e.v)
+    if cert.maximal:
+        for e in graph.edges:
+            if e.u not in matched and e.v not in matched:
+                raise CertificateError(
+                    f"matching certificate claims maximality but misses "
+                    f"edge {e!r}"
+                )
+    return len(cert.edges)
+
+
+def _check_cover(graph: PortNumberedGraph, cert: CoverCertificate) -> int:
+    """Re-prove the cover certificate; returns the certified ``⌊Σy⌋``.
+
+    The per-edge feasibility scan runs on integer numerators over the
+    least common denominator of the cover values — exact arithmetic
+    (every comparison is the Fraction comparison, cross-multiplied once
+    up front) without a Fraction normalisation per edge.
+    """
+    lcd = 1
+    for node, value in cert.values.items():
+        if not isinstance(value, (int, Fraction)):
+            raise CertificateError(
+                f"cover value at {node!r} is {type(value).__name__}, "
+                "not exact arithmetic"
+            )
+        if value < 0:
+            raise CertificateError(
+                f"cover value at {node!r} is negative: {value}"
+            )
+        lcd = math.lcm(lcd, Fraction(value).denominator)
+    scaled = {
+        node: int(value * lcd) for node, value in cert.values.items()
+    }
+    for e in graph.edges:
+        if scaled.get(e.u, 0) + scaled.get(e.v, 0) < lcd:
+            raise CertificateError(
+                f"cover certificate is infeasible at edge {e!r}: "
+                f"{cert.values.get(e.u, 0)} + {cert.values.get(e.v, 0)} < 1"
+            )
+    return cert.bound
+
+
+def verify_certificate(
+    graph: PortNumberedGraph, result: BoundResult
+) -> bool:
+    """Re-prove *result*'s bounds from its certificate alone.
+
+    Checks, in exact ``int``/``Fraction`` arithmetic:
+
+    * the matching part (if any) is a matching of the graph, maximal
+      when claimed, and certifies ``ν >= result.lower``;
+    * the cover part (if any) is a feasible fractional vertex cover and
+      certifies ``ν <= result.upper`` (a maximal matching's ``2|M|``
+      also counts as a certified upper bound);
+    * ``lower <= upper``, and ``exact`` results have ``lower == upper``.
+
+    Returns ``True`` on success; raises :class:`~repro.exceptions.
+    CertificateError` naming the first violated condition otherwise.
+    """
+    cert = result.certificate
+    if cert is None:
+        raise CertificateError("result carries no certificate to verify")
+    matching: MatchingCertificate | None = None
+    cover: CoverCertificate | None = None
+    if isinstance(cert, SandwichCertificate):
+        matching, cover = cert.matching, cert.cover
+    elif isinstance(cert, MatchingCertificate):
+        matching = cert
+    elif isinstance(cert, CoverCertificate):
+        cover = cert
+    else:
+        raise CertificateError(
+            f"unknown certificate type {type(cert).__name__}"
+        )
+
+    if result.lower > result.upper:
+        raise CertificateError(
+            f"inverted bracket: lower {result.lower} > upper {result.upper}"
+        )
+    if result.exact and result.lower != result.upper:
+        raise CertificateError(
+            f"result claims exactness with gap "
+            f"{result.upper - result.lower}"
+        )
+
+    if result.lower > 0:
+        if matching is None:
+            raise CertificateError(
+                f"lower bound {result.lower} has no matching certificate"
+            )
+        certified = _check_matching(graph, matching)
+        if result.lower > certified:
+            raise CertificateError(
+                f"lower bound {result.lower} exceeds the certified "
+                f"matching size {certified}"
+            )
+    elif matching is not None:
+        _check_matching(graph, matching)
+
+    upper_candidates: list[int] = []
+    if cover is not None:
+        upper_candidates.append(_check_cover(graph, cover))
+    if matching is not None and matching.maximal:
+        upper_candidates.append(2 * matching.size)
+    # An exact engine claims ``upper == ν == |M|`` for a *maximum*
+    # matching — tighter than anything a certificate can prove (that
+    # would amount to certifying maximumness).  The bracket
+    # ``[|M|, 2|M|]`` is still re-proven above; the zero-width claim
+    # itself is the engine's, so it is exempted here, explicitly.
+    exact_claim = (
+        result.exact
+        and matching is not None
+        and result.upper == matching.size
+    )
+    if not upper_candidates and not exact_claim:
+        raise CertificateError(
+            f"upper bound {result.upper} has no certificate "
+            "(need a cover or a maximal matching)"
+        )
+    if upper_candidates and result.upper < min(upper_candidates):
+        if not exact_claim:
+            raise CertificateError(
+                f"upper bound {result.upper} is below every certified "
+                f"candidate (best: {min(upper_candidates)})"
+            )
+    return True

@@ -254,6 +254,11 @@ def build_parser() -> argparse.ArgumentParser:
         "usually 'quality')",
     )
     sweep.add_argument(
+        "--optimum", choices=OPTIMUM_MODES, default=None,
+        help="override the scenario's optimum mode (e.g. 'dual_bound' "
+        "for certified ratio intervals at any scale)",
+    )
+    sweep.add_argument(
         "--jsonl", default=None, metavar="PATH",
         help="also write the result records as canonical JSON lines",
     )
@@ -673,6 +678,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
         overrides["seeds"] = args.seeds
     if args.measure is not None:
         overrides["measure"] = args.measure
+    if getattr(args, "optimum", None) is not None:
+        overrides["optimum"] = args.optimum
     if args.algorithms is not None:
         unknown = set(args.algorithms) - set(algorithm_names())
         if unknown:

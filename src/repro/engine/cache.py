@@ -42,7 +42,21 @@ logger = logging.getLogger(__name__)
 #: v2: the registry redesign — identified-model algorithms are now
 #: message-traced under ``count_messages`` (previously ``None``), and
 #: randomised units bind a content-derived RNG.
-CACHE_SCHEMA_VERSION = 2
+#: v3: the certified-bounds subsystem — ``optimum="dual_bound"`` units
+#: carry interval fields in their records.
+CACHE_SCHEMA_VERSION = 3
+
+#: The pre-bounds schema tag.  The v3 bump is *scoped*: only the new
+#: ``dual_bound`` mode (whose records did not exist before) addresses
+#: under v3; every historical mode — ``exact``, ``none``,
+#: ``lower_bound``, ``auto`` — keeps its v2 address, because its record
+#: bytes are unchanged (interval fields are only emitted by the
+#: sandwich path) and invalidating terabyte-scale sweep caches for a
+#: feature they do not use would be pure waste.  ``auto`` units above
+#: :data:`repro.bounds.DUAL_BOUND_EDGE_LIMIT` edges now resolve to the
+#: sandwich instead of blossom; any stale v2 entry there still holds a
+#: sound (blossom) lower bound, just without the interval columns.
+_LEGACY_SCHEMA_VERSION = 2
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -145,8 +159,19 @@ class GcReport:
 
 
 def cache_key(spec: JobSpec) -> str:
-    """The stable content address of one work unit."""
-    payload = {"schema": CACHE_SCHEMA_VERSION, "unit": spec.to_json_dict()}
+    """The stable content address of one work unit.
+
+    The schema tag is per-mode (see :data:`_LEGACY_SCHEMA_VERSION`):
+    ``dual_bound`` units address under the current schema, everything
+    else keeps its pre-bounds v2 address byte-for-byte — pinned by the
+    ``tests/data/v2_optimum_keys.json`` fixture.
+    """
+    schema = (
+        CACHE_SCHEMA_VERSION
+        if spec.optimum == "dual_bound"
+        else _LEGACY_SCHEMA_VERSION
+    )
+    payload = {"schema": schema, "unit": spec.to_json_dict()}
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 

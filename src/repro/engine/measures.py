@@ -24,11 +24,18 @@ byte-identical across reruns, worker counts, and processes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Any
 
 from repro.analysis.reference import regular_odd_reference
-from repro.eds.bounds import eds_lower_bound
+from repro.bounds import (
+    DUAL_BOUND_EDGE_LIMIT,
+    BoundResult,
+    nu_sandwich,
+    verify_certificate,
+)
+from repro.eds.bounds import eds_lower_bound, eds_lower_bound_from_nu
 from repro.eds.exact import minimum_eds_size
 from repro.eds.properties import is_edge_dominating_set
 from repro.engine.records import ResultRecord
@@ -36,7 +43,7 @@ from repro.engine.spec import JobSpec, derive_seed
 from repro.exceptions import AlgorithmContractError
 from repro.lowerbounds.adversary import run_adversary
 from repro.lowerbounds.instance import LowerBoundInstance
-from repro.obs.spans import span
+from repro.obs.spans import current_recorder, span
 from repro.portgraph.graph import PortNumberedGraph
 from repro.registry.algorithms import BoundAlgorithm, resolve
 from repro.registry.measures import AlgorithmRun, Measure, register_measure
@@ -45,6 +52,7 @@ __all__ = [
     "AdversaryMeasure",
     "ComparisonMeasure",
     "MessagesMeasure",
+    "OptimumOutcome",
     "PhaseSplitMeasure",
     "QualityMeasure",
     "ThreadedComparisonMeasure",
@@ -148,13 +156,33 @@ def default_execute(measure: Measure, spec: JobSpec, key: str) -> ResultRecord:
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class OptimumOutcome:
+    """What one unit's optimum policy resolved to.
+
+    ``lower``/``upper`` bracket the *EDS optimum* (0 means "no bound on
+    that side"); ``nu`` carries the ν sandwich when one was computed, so
+    telemetry can report the dual−primal gap.  ``resolved`` names the
+    engine that actually ran — ``auto`` units record whether they
+    escalated to ``"exact"``, ``"blossom"`` or ``"sandwich"``.
+    """
+
+    lower: int
+    upper: int
+    exact: bool
+    resolved: str
+    nu: BoundResult | None = None
+
+
 @register_measure
 class QualityMeasure(Measure):
     """Feasibility + approximation ratio against an optimum policy.
 
     The unit's ``optimum`` field selects the baseline: ``"exact"``
-    (branch-and-bound), ``"lower_bound"`` (poly-time bound), ``"auto"``
-    (exact while affordable) or ``"none"`` (sizes and rounds only).
+    (branch-and-bound), ``"lower_bound"`` (poly-time bound),
+    ``"dual_bound"`` (the certified ν sandwich — interval ratios),
+    ``"auto"`` (exact while affordable, then blossom, then sandwich)
+    or ``"none"`` (sizes and rounds only).
     """
 
     name = "quality"
@@ -163,43 +191,108 @@ class QualityMeasure(Measure):
         return spec.count_messages
 
     @staticmethod
-    def _optimum(spec: JobSpec, graph: PortNumberedGraph) -> tuple[int, bool]:
+    def _optimum(
+        spec: JobSpec, graph: PortNumberedGraph
+    ) -> OptimumOutcome:
         with span("optimum", mode=spec.optimum) as opt:
-            value, exact = QualityMeasure._optimum_value(spec, graph)
+            out = QualityMeasure._optimum_value(spec, graph)
             if opt is not None:
-                opt.attrs["exact"] = exact
-        return value, exact
+                opt.attrs["exact"] = out.exact
+                opt.attrs["resolved"] = out.resolved
+                if out.nu is not None:
+                    opt.attrs["gap"] = out.nu.gap
+            if out.nu is not None:
+                rec = current_recorder()
+                if rec is not None:
+                    rec.count("optimum.sandwich")
+                    rec.count("optimum.gap_total", out.nu.gap)
+        return out
+
+    @staticmethod
+    def _sandwich(spec: JobSpec, graph: PortNumberedGraph) -> OptimumOutcome:
+        """The dual_bound path: a verified ν bracket → an EDS interval.
+
+        The primal matching order derives from the unit's own content
+        (``derive_seed``), so the bracket — like everything else in a
+        record — is a pure function of the spec.  Every emitted bound
+        is re-proven by :func:`repro.bounds.verify_certificate` under
+        its own span before it may enter a record.
+        """
+        nu = nu_sandwich(
+            graph, seed=derive_seed("bounds", spec.to_json_dict())
+        )
+        with span("optimum_verify"):
+            verify_certificate(graph, nu)
+        lower = eds_lower_bound_from_nu(
+            nu.lower, graph.num_edges, graph.max_degree
+        )
+        # The primal maximal matching is itself a feasible EDS, so its
+        # size upper-bounds the optimum.
+        upper = nu.lower if graph.num_edges else 0
+        return OptimumOutcome(
+            lower=lower, upper=upper, exact=False,
+            resolved="sandwich", nu=nu,
+        )
 
     @staticmethod
     def _optimum_value(
         spec: JobSpec, graph: PortNumberedGraph
-    ) -> tuple[int, bool]:
+    ) -> OptimumOutcome:
         if spec.optimum == "none":
-            return 0, False
+            return OptimumOutcome(0, 0, False, "none")
         if spec.optimum == "exact":
-            return minimum_eds_size(graph), True
+            value = minimum_eds_size(graph)
+            return OptimumOutcome(value, value, True, "exact")
         if spec.optimum == "lower_bound":
-            return eds_lower_bound(graph), False
-        # "auto": exact when affordable, else the poly-time lower bound
+            return OptimumOutcome(
+                eds_lower_bound(graph), 0, False, "blossom"
+            )
+        if spec.optimum == "dual_bound":
+            return QualityMeasure._sandwich(spec, graph)
+        # "auto": exact while affordable, then the blossom lower bound,
+        # then the certified sandwich once blossom itself is the cost.
         if graph.num_edges <= spec.exact_edge_limit:
-            return minimum_eds_size(graph), True
-        return eds_lower_bound(graph), False
+            value = minimum_eds_size(graph)
+            return OptimumOutcome(value, value, True, "exact")
+        if graph.num_edges <= DUAL_BOUND_EDGE_LIMIT:
+            return OptimumOutcome(
+                eds_lower_bound(graph), 0, False, "blossom"
+            )
+        return QualityMeasure._sandwich(spec, graph)
 
     def measure(
         self, graph: PortNumberedGraph, run: AlgorithmRun
     ) -> dict[str, Any]:
         spec = run.spec
-        optimum, exact = self._optimum(spec, graph)
-        if optimum > 0:
-            ratio = Fraction(len(run.edge_set), optimum)
+        out = self._optimum(spec, graph)
+        size = len(run.edge_set)
+        if out.lower > 0:
+            ratio = Fraction(size, out.lower)
         else:
             ratio = Fraction(1) if spec.optimum != "none" else Fraction(0)
         overrides: dict[str, Any] = {
-            "optimum": optimum,
-            "optimum_exact": exact,
+            "optimum": out.lower,
+            "optimum_exact": out.exact,
             "ratio_num": ratio.numerator,
             "ratio_den": ratio.denominator,
         }
+        if out.upper > 0 and not out.exact:
+            # A two-sided bracket: the solution is also an upper bound
+            # witness, so ratio_lo is always >= 1 by construction.
+            upper = min(out.upper, size)
+            ratio_lo = Fraction(size, upper)
+            overrides.update(
+                optimum_lower=out.lower,
+                optimum_upper=upper,
+                ratio_lo_num=ratio_lo.numerator,
+                ratio_lo_den=ratio_lo.denominator,
+                ratio_hi_num=ratio.numerator,
+                ratio_hi_den=ratio.denominator,
+            )
+            if out.nu is not None:
+                # Extras (not record fields): the raw ν bracket.
+                overrides["nu_lower"] = out.nu.lower
+                overrides["nu_upper"] = out.nu.upper
         if spec.count_messages:
             if run.trace is not None:
                 overrides["messages"] = run.trace.total_messages

@@ -41,6 +41,17 @@ class ResultRecord:
     ratio_den: int
     rounds: int
     messages: int | None = None
+    #: Two-sided optimum bracket (``dual_bound``/escalated ``auto``
+    #: units): certified ``optimum_lower <= opt <= optimum_upper`` and
+    #: the induced ratio interval.  All zero/defaults — and absent from
+    #: the JSON encoding — when the unit measured a one-sided or exact
+    #: optimum, so records from the historical modes keep their bytes.
+    optimum_lower: int = 0
+    optimum_upper: int = 0
+    ratio_lo_num: int = 0
+    ratio_lo_den: int = 1
+    ratio_hi_num: int = 0
+    ratio_hi_den: int = 1
     extra: Mapping[str, Any] = field(default_factory=dict)
 
     @property
@@ -51,8 +62,31 @@ class ResultRecord:
     def has_optimum(self) -> bool:
         return self.optimum > 0
 
+    @property
+    def has_interval(self) -> bool:
+        """True when the record carries a two-sided optimum bracket."""
+        return self.optimum_upper > 0
+
+    @property
+    def ratio_lo(self) -> Fraction:
+        """The optimistic end of the ratio interval.
+
+        Falls back to the point ratio when the record has no bracket,
+        so aggregations can mix exact and interval records.
+        """
+        if self.has_interval:
+            return Fraction(self.ratio_lo_num, self.ratio_lo_den)
+        return self.ratio
+
+    @property
+    def ratio_hi(self) -> Fraction:
+        """The pessimistic end (equals ``ratio`` on interval records)."""
+        if self.has_interval:
+            return Fraction(self.ratio_hi_num, self.ratio_hi_den)
+        return self.ratio
+
     def to_json_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "key": self.key,
             "algorithm": self.algorithm,
             "graph_family": self.graph_family,
@@ -69,6 +103,16 @@ class ResultRecord:
             "messages": self.messages,
             "extra": dict(self.extra),
         }
+        if self.has_interval:
+            data.update(
+                optimum_lower=self.optimum_lower,
+                optimum_upper=self.optimum_upper,
+                ratio_lo_num=self.ratio_lo_num,
+                ratio_lo_den=self.ratio_lo_den,
+                ratio_hi_num=self.ratio_hi_num,
+                ratio_hi_den=self.ratio_hi_den,
+            )
+        return data
 
     @classmethod
     def from_json_dict(cls, data: Mapping[str, Any]) -> "ResultRecord":
@@ -87,6 +131,12 @@ class ResultRecord:
             ratio_den=data["ratio_den"],
             rounds=data["rounds"],
             messages=data.get("messages"),
+            optimum_lower=data.get("optimum_lower", 0),
+            optimum_upper=data.get("optimum_upper", 0),
+            ratio_lo_num=data.get("ratio_lo_num", 0),
+            ratio_lo_den=data.get("ratio_lo_den", 1),
+            ratio_hi_num=data.get("ratio_hi_num", 0),
+            ratio_hi_den=data.get("ratio_hi_den", 1),
             extra=dict(data.get("extra", {})),
         )
 
@@ -131,8 +181,19 @@ class ResultStore:
     def experiment_rows(self) -> list[ExperimentRow]:
         return [r.to_experiment_row() for r in self.records]
 
+    def has_intervals(self) -> bool:
+        """True when any stored record carries a ratio interval."""
+        return any(r.has_interval for r in self.records)
+
     def summary_rows(self) -> list[tuple[object, ...]]:
-        """Per-algorithm aggregates over the stored records."""
+        """Per-algorithm aggregates over the stored records.
+
+        When any record carries a two-sided bracket, every row gains a
+        ``mean ratio ∈`` interval column (point-ratio records contribute
+        a zero-width interval); summaries of the historical one-sided
+        modes are column-for-column what they always were.
+        """
+        intervals = self.has_intervals()
         grouped: dict[str, list[ResultRecord]] = {}
         for record in self.records:
             grouped.setdefault(record.algorithm, []).append(record)
@@ -145,25 +206,33 @@ class ResultStore:
             )
             max_ratio = f"{float(max(ratios)):.4f}" if ratios else "-"
             mean_rounds = sum(r.rounds for r in records) / len(records)
-            rows.append(
-                (
-                    name,
-                    len(records),
-                    mean_ratio,
-                    max_ratio,
-                    f"{mean_rounds:.1f}",
-                    sum(r.solution_size for r in records),
-                )
-            )
+            row = [
+                name,
+                len(records),
+                mean_ratio,
+                max_ratio,
+                f"{mean_rounds:.1f}",
+                sum(r.solution_size for r in records),
+            ]
+            if intervals:
+                bracketed = [
+                    r for r in records if r.has_optimum or r.has_interval
+                ]
+                if bracketed:
+                    lo = sum(r.ratio_lo for r in bracketed) / len(bracketed)
+                    hi = sum(r.ratio_hi for r in bracketed) / len(bracketed)
+                    row.insert(4, f"[{float(lo):.4f}, {float(hi):.4f}]")
+                else:
+                    row.insert(4, "-")
+            rows.append(tuple(row))
         return rows
 
     def format_summary(self, *, title: str = "sweep summary") -> str:
-        return format_table(
-            ["algorithm", "units", "mean ratio", "max ratio",
-             "mean rounds", "Σ|D|"],
-            self.summary_rows(),
-            title=title,
-        )
+        headers = ["algorithm", "units", "mean ratio", "max ratio",
+                   "mean rounds", "Σ|D|"]
+        if self.has_intervals():
+            headers.insert(4, "mean ratio ∈")
+        return format_table(headers, self.summary_rows(), title=title)
 
     def to_jsonl(self, path: str | Path) -> None:
         """Write one canonical-JSON record per line (deterministic bytes)."""

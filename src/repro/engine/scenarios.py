@@ -5,7 +5,8 @@ the grid the sequential harness could never finish — random regular
 graphs with d ∈ {2..10} and n up to 2048, ten seeds per cell — and is
 only practical through the engine's sharded executor and cache;
 ``xlarge-regular`` pushes n to 16384 on top of the compiled simulation
-core (E19; sizes and rounds only — see the grid's comment);
+core (E19) and, since the certified-bounds subsystem (E21), reports
+ratio intervals from the ν sandwich instead of running blind;
 ``comparison`` is the regular-family half of the ``repro-eds compare``
 head-to-head (paper algorithms vs the :mod:`repro.baselines` family).
 """
@@ -39,11 +40,11 @@ SCENARIOS: dict[str, SweepGrid] = {
     ),
     # The scale the compiled simulation core unlocks (E19): n up to
     # 16384, where the dict-based scheduler alone spent minutes per
-    # unit.  ``optimum="none"`` by necessity, not convenience: the
-    # poly-time lower bound runs the blossom maximum matching, which is
-    # ~3 minutes per unit at this size — the scenario measures solution
-    # sizes, round counts, and throughput; quality ratios stay with
-    # ``large-regular``.
+    # unit.  Ratios ran as ``optimum="none"`` until the certified
+    # bounds subsystem (E21): the blossom lower bound was ~3 minutes
+    # per unit at this size, while the primal/dual ν sandwich brackets
+    # the optimum in under a second — so the scenario now reports
+    # honest ratio *intervals* (``ratio_lo``/``ratio_hi``) end to end.
     "xlarge-regular": SweepGrid(
         name="xlarge-regular",
         algorithms=("port_one", "regular_odd", "bounded_degree"),
@@ -51,7 +52,7 @@ SCENARIOS: dict[str, SweepGrid] = {
         degrees=(2, 3, 4, 8),
         sizes=(4096, 8192, 16384),
         seeds=2,
-        optimum="none",
+        optimum="dual_bound",
     ),
     "bounded-mixed": SweepGrid(
         name="bounded-mixed",

@@ -39,7 +39,7 @@ __all__ = [
 ]
 
 #: Optimum policies for the ``quality`` measure.
-OPTIMUM_MODES = ("auto", "exact", "lower_bound", "none")
+OPTIMUM_MODES = ("auto", "exact", "lower_bound", "dual_bound", "none")
 
 
 def canonical_json(obj: Any) -> str:
@@ -111,9 +111,12 @@ class JobSpec:
     * ``"quality"`` — run the algorithm, check feasibility, and measure
       the solution against an optimum chosen by ``optimum``:
       ``"exact"`` (branch-and-bound), ``"lower_bound"`` (poly-time bound),
-      ``"auto"`` (exact up to ``exact_edge_limit`` edges, else the bound)
-      or ``"none"`` (sizes and rounds only — for round-complexity sweeps
-      and very large grids);
+      ``"dual_bound"`` (the certified primal/dual ν sandwich from
+      :mod:`repro.bounds` — interval ratios in near-linear time),
+      ``"auto"`` (exact up to ``exact_edge_limit`` edges, then the
+      blossom bound, then the sandwich past
+      :data:`repro.bounds.DUAL_BOUND_EDGE_LIMIT` edges) or ``"none"``
+      (sizes and rounds only — for round-complexity sweeps);
     * ``"messages"`` — run with tracing and record the message traffic;
     * ``"adversary"`` — the graph spec must name a lower-bound
       construction; runs the Table 1 tightness confrontation;

@@ -21,6 +21,7 @@ __all__ = [
     "RoundLimitExceeded",
     "InconsistentOutputError",
     "AlgorithmContractError",
+    "CertificateError",
     "ConstructionError",
 ]
 
@@ -79,6 +80,10 @@ class InconsistentOutputError(SimulationError):
 
 class AlgorithmContractError(ReproError):
     """An algorithm was run outside its documented preconditions."""
+
+
+class CertificateError(ReproError):
+    """A bound certificate failed its exact-arithmetic verification."""
 
 
 class ConstructionError(ReproError):

@@ -89,7 +89,13 @@ def comparison_units(
 
 @dataclass(frozen=True)
 class CompareRow:
-    """One (family, algorithm) aggregate of the comparison table."""
+    """One (family, algorithm) aggregate of the comparison table.
+
+    ``mean_ratio_lo``/``mean_ratio_hi`` bracket the mean ratio when any
+    of the row's records measured a two-sided optimum (``dual_bound``
+    units); they collapse onto ``mean_ratio`` for exact-optimum grids
+    and the interval column is omitted from the rendered table.
+    """
 
     family: str
     algorithm: str
@@ -99,6 +105,12 @@ class CompareRow:
     max_ratio: float
     mean_rounds: float
     mean_messages: float
+    mean_ratio_lo: float = 0.0
+    mean_ratio_hi: float = 0.0
+
+    @property
+    def has_interval(self) -> bool:
+        return self.mean_ratio_lo != self.mean_ratio_hi
 
 
 def comparison_rows(records: Sequence[ResultRecord]) -> list[CompareRow]:
@@ -116,7 +128,9 @@ def comparison_rows(records: Sequence[ResultRecord]) -> list[CompareRow]:
         ).append(record)
     rows = []
     for (family, algorithm), cells in grouped.items():
+        bracketed = [r for r in cells if r.has_optimum or r.has_interval]
         ratios = [r.ratio for r in cells if r.has_optimum]
+        count = len(bracketed)
         rows.append(CompareRow(
             family=family,
             algorithm=algorithm,
@@ -126,6 +140,14 @@ def comparison_rows(records: Sequence[ResultRecord]) -> list[CompareRow]:
             max_ratio=float(max(ratios)) if ratios else 0.0,
             mean_rounds=sum(r.rounds for r in cells) / len(cells),
             mean_messages=sum(r.messages or 0 for r in cells) / len(cells),
+            mean_ratio_lo=(
+                float(sum(r.ratio_lo for r in bracketed) / count)
+                if count else 0.0
+            ),
+            mean_ratio_hi=(
+                float(sum(r.ratio_hi for r in bracketed) / count)
+                if count else 0.0
+            ),
         ))
     rows.sort(key=lambda row: (
         row.family, MODELS.index(row.model), row.algorithm
@@ -134,23 +156,36 @@ def comparison_rows(records: Sequence[ResultRecord]) -> list[CompareRow]:
 
 
 def format_comparison(rows: Sequence[CompareRow]) -> str:
-    """Render the side-by-side comparison table."""
-    return format_table(
-        ["family", "algorithm", "model", "units",
-         "mean ratio", "max ratio", "mean rounds", "mean msgs"],
-        [
-            (
-                row.family,
-                row.algorithm,
-                row.model,
-                row.units,
-                f"{row.mean_ratio:.4f}",
-                f"{row.max_ratio:.4f}",
-                f"{row.mean_rounds:.1f}",
-                f"{row.mean_messages:.1f}",
+    """Render the side-by-side comparison table.
+
+    Exact-optimum grids render exactly as before; as soon as any row
+    aggregates interval records (``dual_bound`` units), a
+    ``mean ratio ∈`` column appears for every row.
+    """
+    intervals = any(row.has_interval for row in rows)
+    headers = ["family", "algorithm", "model", "units",
+               "mean ratio", "max ratio", "mean rounds", "mean msgs"]
+    if intervals:
+        headers.insert(6, "mean ratio ∈")
+    body = []
+    for row in rows:
+        cells = [
+            row.family,
+            row.algorithm,
+            row.model,
+            row.units,
+            f"{row.mean_ratio:.4f}",
+            f"{row.max_ratio:.4f}",
+            f"{row.mean_rounds:.1f}",
+            f"{row.mean_messages:.1f}",
+        ]
+        if intervals:
+            cells.insert(
+                6, f"[{row.mean_ratio_lo:.4f}, {row.mean_ratio_hi:.4f}]"
             )
-            for row in rows
-        ],
+        body.append(tuple(cells))
+    return format_table(
+        headers, body,
         title="paper algorithms vs related-work baselines (E18)",
     )
 

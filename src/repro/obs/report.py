@@ -114,6 +114,16 @@ def _counter_lines(session: TelemetrySession) -> list[str]:
             f"{rounds:g} rounds{per_s}; messages: {delivered:g} "
             f"delivered, {dropped:g} dropped"
         )
+    sandwiches = m.counter("optimum.sandwich")
+    if sandwiches:
+        mean_gap = m.counter("optimum.gap_total") / sandwiches
+        verify = m.summary("phase.optimum_verify")
+        lines.append(
+            f"optimum: {sandwiches:g} ν-sandwich bound(s), mean gap "
+            f"(dual−primal) {mean_gap:.1f}; certificate verification "
+            f"{_fmt_s(verify['total'])} total "
+            f"(p50 {_fmt_s(verify['p50'])} per unit)"
+        )
     hits, misses = m.counter("cache.hit"), m.counter("cache.miss")
     if hits or misses:
         reads = m.summary("cache.read_s")
