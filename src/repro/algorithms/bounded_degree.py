@@ -136,6 +136,27 @@ class BoundedDegreeEDS:
             return BatchAllEdges(graph)
         return BatchBoundedDegree(graph, self.max_degree, self.odd_delta)
 
+    def vector_program(self, graph):
+        """Opt in to the numpy vector engine (``None`` without numpy)."""
+        from repro.runtime.vector import vector_available
+
+        if not vector_available():
+            return None
+        from repro.algorithms.vector import (
+            VectorAllEdges,
+            VectorBoundedDegree,
+        )
+
+        if self.max_degree == 1:
+            for v in graph.nodes:
+                if graph.degree(v) > 1:
+                    raise AlgorithmContractError(
+                        f"node degree {graph.degree(v)} exceeds promised "
+                        f"bound Δ = {self.max_degree}"
+                    )
+            return VectorAllEdges(graph)
+        return VectorBoundedDegree(graph, self.max_degree, self.odd_delta)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BoundedDegreeEDS(max_degree={self.max_degree})"
 

@@ -76,6 +76,16 @@ class DominatingTwoMatching:
 
         return BatchDoubleCover(graph, self.max_degree)
 
+    def vector_program(self, graph):
+        """Opt in to the numpy vector engine (``None`` without numpy)."""
+        from repro.runtime.vector import vector_available
+
+        if not vector_available():
+            return None
+        from repro.algorithms.vector import VectorDoubleCover
+
+        return VectorDoubleCover(graph, self.max_degree)
+
 
 class _DoubleCoverProgram(NodeProgram):
     """Propose/respond cycles; cycle c occupies rounds 2c and 2c + 1."""

@@ -122,6 +122,24 @@ class GreedyMaximalMatchingIds(NodeProgram):
 
         return BatchGreedyMatchingIds(graph, ids)
 
+    @classmethod
+    def vector_program(cls, graph, ids):
+        """Opt in to the numpy vector engine.
+
+        Returns ``None`` (→ compiled fallback) without numpy or when an
+        identifier does not fit the engine's int64 id arrays.
+        """
+        from repro.runtime.vector import vector_available
+
+        if not vector_available():
+            return None
+        from repro.algorithms.vector import VectorGreedyMatchingIds
+
+        try:
+            return VectorGreedyMatchingIds(graph, ids)
+        except OverflowError:
+            return None
+
 
 # Registered where it is defined: work units reach this program by name.
 from repro.registry.algorithms import register_identified  # noqa: E402

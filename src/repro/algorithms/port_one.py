@@ -55,6 +55,17 @@ class PortOneEDS(NodeProgram):
 
         return BatchPortOne(graph)
 
+    @classmethod
+    def vector_program(cls, graph):
+        """Opt in to the numpy vector engine (``None`` without numpy)."""
+        from repro.runtime.vector import vector_available
+
+        if not vector_available():
+            return None
+        from repro.algorithms.vector import VectorPortOne
+
+        return VectorPortOne(graph)
+
 
 # Registered where it is defined: work units reach this program by name.
 from repro.registry.algorithms import register_anonymous  # noqa: E402

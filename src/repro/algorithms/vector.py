@@ -1,0 +1,861 @@
+"""Vector-engine kernels for the paper's deterministic algorithms.
+
+Each class is the struct-of-arrays counterpart of one batch program from
+:mod:`repro.algorithms.batch`, plugged into the scheduler through the
+:class:`~repro.runtime.vector.VectorProgram` protocol: per-node state is
+typed numpy arrays, one round is a handful of whole-graph array ops, and
+the step → participant schedules are precomputed entry arrays grouped by
+step (memoised on the compiled graph under ``vector_*`` keys, separate
+from the batch programs' memo entries so both engines can share one
+graph).
+
+The fidelity rules of the batch programs apply unchanged — canonical
+send order (ascending node, then the per-node send-mapping order),
+setup messages still sent, per-node schedule arithmetic mirrored — plus
+one vectorisation invariant the schedules guarantee: **each node appears
+at most once per schedule step** (a pair step selects at most one port
+per node, proposal rounds carry one proposal per proposer and group
+replies per responder), so simultaneous array updates are equivalent to
+the batch programs' sequential per-node loops.
+
+This module is only imported when numpy is available (the factories'
+``vector_program`` hooks gate on
+:func:`repro.runtime.vector.vector_available`).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import pair_at
+from repro.exceptions import AlgorithmContractError, SimulationError
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.vector import np
+from repro.runtime.vector import (
+    PAYLOAD_ACC,
+    PAYLOAD_ALIVE,
+    PAYLOAD_COV,
+    PAYLOAD_DN,
+    PAYLOAD_HCOV,
+    PAYLOAD_HELLO,
+    PAYLOAD_ID,
+    PAYLOAD_INT,
+    PAYLOAD_MCOV,
+    PAYLOAD_PROP,
+    PAYLOAD_PROP_ID,
+    PAYLOAD_REJ,
+    PAYLOAD_SCOV,
+    VectorProgram,
+)
+
+__all__ = [
+    "VectorAllEdges",
+    "VectorBoundedDegree",
+    "VectorDoubleCover",
+    "VectorGreedyMatchingIds",
+    "VectorPortOne",
+    "VectorRegularOdd",
+]
+
+_INF = (1 << 63) - 1
+
+
+def _flag_outputs(vg, flags, ks, m_port=None):
+    """Per-node output frozensets for halting nodes *ks*: the local
+    ports whose flag is set, plus the matched port when given.
+
+    One global ``flatnonzero`` + sorted-owner bisection instead of a
+    per-node scan — this runs once per halt wave, over every halting
+    node, and dominated whole-run time as a per-node loop."""
+    selected = np.flatnonzero(flags)
+    locs = vg.local[selected].tolist()
+    owners = vg.port_node[selected]
+    lo = np.searchsorted(owners, ks)
+    hi = np.searchsorted(owners, ks, side="right")
+    if m_port is None:
+        return [
+            frozenset(locs[a:b])
+            for a, b in zip(lo.tolist(), hi.tolist())
+        ]
+    matched = m_port[ks].tolist()
+    return [
+        frozenset(locs[a:b]) | {m} if m >= 0 else frozenset(locs[a:b])
+        for a, b, m in zip(lo.tolist(), hi.tolist(), matched)
+    ]
+
+
+# -- Theorem 3 -------------------------------------------------------------
+
+
+class VectorPortOne(VectorProgram):
+    """Theorem 3, vectorised: one total broadcast, then every node halts.
+
+    The selection is one boolean expression over the port axis; outputs
+    are memoised like the batch program's.
+    """
+
+    __slots__ = ("_outs",)
+
+    def __init__(self, graph: PortNumberedGraph) -> None:
+        super().__init__(graph)
+        cg = self.cg
+        try:
+            self._outs = cg.memo["vector_port_one"]
+        except KeyError:
+            vg = self.vg
+            selected = (vg.local == 1) | (vg.peer_local == 1)
+            self._outs = vg.port_sets(selected)
+            cg.memo["vector_port_one"] = self._outs
+
+    def _step(self, rnd):
+        vg = self.vg
+        sends = vg.all_ports
+        ok = self.deliver(rnd, sends)
+        if self.record:
+            self.log_sends(sends, PAYLOAD_INT, a=vg.local, delivered=ok)
+        ks = np.flatnonzero(self.running)
+        self.halt_nodes(ks, [self._outs[k] for k in ks.tolist()])
+
+
+class VectorAllEdges(VectorProgram):
+    """A(1), vectorised: silence, then every node outputs all its ports."""
+
+    __slots__ = ()
+
+    def _step(self, rnd):
+        degrees = self.vg.degrees
+        ks = np.flatnonzero(self.running)
+        self.halt_nodes(
+            ks,
+            [frozenset(range(1, int(degrees[k]) + 1)) for k in ks.tolist()],
+        )
+
+
+# -- shared Section 5 label machinery --------------------------------------
+
+
+def _label_tables(vg):
+    """Distinguishable ports and pair tags, fully vectorised.
+
+    Returns ``(dn_port, tag_k, tag_i, tag_j, tag_g)`` memoised as
+    ``vector_label``: ``dn_port[k]`` is the min-port uniquely-labelled
+    edge of node ``k`` (−1 when none), and the tag arrays hold every
+    ``pair (i, j) → port`` table entry as ``(node, i, j, global port)``
+    rows sorted by ``(node, i, j)`` — the exact content of the batch
+    programs' ``port_for_pair`` dicts, with the same Lemma 2 violation
+    check.
+    """
+    cg = vg.cg
+    try:
+        return cg.memo["vector_label"]
+    except KeyError:
+        pass
+    total = vg.num_ports
+    local = vg.local
+    peer_local = vg.peer_local
+    owner = vg.port_node
+
+    # Pair multiplicity per node: a port's edge label is the unordered
+    # pair {i, peer_local}; unique pairs are the distinguishable edges.
+    lo = np.minimum(local, peer_local)
+    hi = np.maximum(local, peer_local)
+    width = int(hi.max()) + 1 if total else 1
+    pair_key = (owner * width + lo) * width + hi
+    _, inverse, counts = np.unique(
+        pair_key, return_inverse=True, return_counts=True
+    )
+    unique_pair = counts[inverse] == 1
+    dn = vg.segment_min(np.where(unique_pair, local, _INF), _INF)
+    dn_port = np.where(dn == _INF, -1, dn)
+
+    # Tag rows.  A port g is tagged (i, j) when its own end is the
+    # distinguishable port (i = local) or its peer end is (pair
+    # reversed) — mirroring BatchLabelAware's two tag sources.
+    tag_own = dn_port[owner] == local
+    tag_peer = dn_port[vg.peer_node] == peer_local
+    gids = vg.all_ports
+    tag_k = np.concatenate([owner[tag_own], owner[tag_peer]])
+    tag_i = np.concatenate([local[tag_own], peer_local[tag_peer]])
+    tag_j = np.concatenate([peer_local[tag_own], local[tag_peer]])
+    tag_g = np.concatenate([gids[tag_own], gids[tag_peer]])
+    order = np.lexsort((tag_g, tag_j, tag_i, tag_k))
+    tag_k = tag_k[order]
+    tag_i = tag_i[order]
+    tag_j = tag_j[order]
+    tag_g = tag_g[order]
+
+    if len(tag_k) > 1:
+        same_pair = (
+            (tag_k[1:] == tag_k[:-1])
+            & (tag_i[1:] == tag_i[:-1])
+            & (tag_j[1:] == tag_j[:-1])
+        )
+        clash = same_pair & (tag_g[1:] != tag_g[:-1])
+        if clash.any():
+            at = int(np.flatnonzero(clash)[0])
+            pair = (int(tag_i[at]), int(tag_j[at]))
+            raise SimulationError(
+                f"Lemma 2 violated: pair {pair} tags two incident edges "
+                f"(ports {int(local[tag_g[at]])} and "
+                f"{int(local[tag_g[at + 1]])})"
+            )
+        keep = np.ones(len(tag_k), dtype=bool)
+        keep[1:] = ~same_pair  # duplicate (k, i, j, g) rows collapse
+        tag_k = tag_k[keep]
+        tag_i = tag_i[keep]
+        tag_j = tag_j[keep]
+        tag_g = tag_g[keep]
+
+    tables = (dn_port, tag_k, tag_i, tag_j, tag_g)
+    cg.memo["vector_label"] = tables
+    return tables
+
+
+def _entry_groups(vg, ent_step, ent_k, ent_g, extra=()):
+    """Sort schedule entries by ``(step, node)`` and group by step.
+
+    Returns ``(steps, starts, ent_k, ent_g, ent_peer, *extra_sorted)``
+    where ``steps``/``starts`` delimit each step's slice and
+    ``ent_peer`` is the absolute index of the mate's entry at the same
+    step (−1 when the mate is not scheduled then) — one ``searchsorted``
+    replaces the per-round inbox.
+    """
+    order = np.lexsort((ent_k, ent_step))
+    ent_step = ent_step[order]
+    ent_k = ent_k[order]
+    ent_g = ent_g[order]
+    extra_sorted = tuple(column[order] for column in extra)
+    total = vg.num_ports
+    # Within a step each node appears once, in ascending order, so the
+    # (step, gport) key array is strictly increasing.
+    keys = ent_step * total + ent_g
+    peer_keys = ent_step * total + vg.mate[ent_g]
+    if len(keys):
+        pos = np.searchsorted(keys, peer_keys)
+        pos = np.minimum(pos, len(keys) - 1)
+        ent_peer = np.where(keys[pos] == peer_keys, pos, -1)
+    else:
+        ent_peer = keys
+    steps, first = np.unique(ent_step, return_index=True)
+    starts = np.append(first, len(ent_step))
+    return (steps, starts, ent_k, ent_g, ent_peer) + extra_sorted
+
+
+def _step_slice(steps, starts, step):
+    """The ``(s0, s1)`` slice of *step*'s entries, or ``None``."""
+    at = int(np.searchsorted(steps, step))
+    if at == len(steps) or steps[at] != step:
+        return None
+    return int(starts[at]), int(starts[at + 1])
+
+
+class _VectorLabelAware(VectorProgram):
+    """Shared Section 5 setup: precomputed labels, emitted setup rounds."""
+
+    __slots__ = ("dn_port",)
+
+    def __init__(self, graph: PortNumberedGraph) -> None:
+        super().__init__(graph)
+        self.dn_port = _label_tables(self.vg)[0]
+
+    def _setup_step(self, rnd):
+        """Rounds 0 and 1: the ``hello`` / ``dn`` total broadcasts."""
+        vg = self.vg
+        sends = vg.all_ports
+        ok = self.deliver(rnd, sends)
+        if self.record:
+            if rnd == 0:
+                self.log_sends(
+                    sends,
+                    PAYLOAD_HELLO,
+                    a=vg.local,
+                    b=vg.degrees[vg.port_node],
+                    delivered=ok,
+                )
+            else:
+                self.log_sends(
+                    sends,
+                    PAYLOAD_DN,
+                    a=vg.local == self.dn_port[vg.port_node],
+                    delivered=ok,
+                )
+
+
+# -- Theorem 4 -------------------------------------------------------------
+
+
+def _regular_odd_schedule(vg):
+    """The two-phase pair schedule as grouped entry arrays, memoised."""
+    cg = vg.cg
+    try:
+        return cg.memo["vector_regular_odd"]
+    except KeyError:
+        pass
+    _, tag_k, tag_i, tag_j, tag_g = _label_tables(vg)
+    d = vg.degrees[tag_k]
+    # A pair can name a *peer* port number beyond this node's own
+    # degree; the node's d-bounded schedule never reaches it.
+    keep = (tag_i <= d) & (tag_j <= d)
+    tag_k = tag_k[keep]
+    tag_g = tag_g[keep]
+    d = d[keep]
+    step1 = (tag_i[keep] - 1) * d + (tag_j[keep] - 1)
+    ent_step = np.concatenate([step1, step1 + d * d])
+    ent_k = np.concatenate([tag_k, tag_k])
+    ent_g = np.concatenate([tag_g, tag_g])
+    phase2 = np.zeros(len(ent_step), dtype=bool)
+    phase2[len(step1):] = True
+    groups = _entry_groups(vg, ent_step, ent_k, ent_g, extra=(phase2,))
+
+    degrees = vg.degrees
+    halt_k = np.flatnonzero(degrees > 0)
+    halt_step = 2 * degrees[halt_k] * degrees[halt_k] - 1
+    order = np.lexsort((halt_k, halt_step))
+    halt_k = halt_k[order]
+    halt_step = halt_step[order]
+    halt_steps, first = np.unique(halt_step, return_index=True)
+    halt_starts = np.append(first, len(halt_step))
+
+    sched = groups + (halt_steps, halt_starts, halt_k)
+    cg.memo["vector_regular_odd"] = sched
+    return sched
+
+
+class VectorRegularOdd(_VectorLabelAware):
+    """Theorem 4, vectorised: masked pair steps over flat flag arrays.
+
+    State: ``sel_flag`` (per-port membership in D), ``sel_count`` /
+    ``covered`` (per-node).  A step's entries are one slice of the
+    grouped schedule; peer bits come from the precomputed peer-entry
+    index instead of an inbox.
+    """
+
+    __slots__ = ("_sched", "sel_flag", "sel_count", "covered")
+
+    def __init__(self, graph: PortNumberedGraph) -> None:
+        super().__init__(graph)
+        self._sched = _regular_odd_schedule(self.vg)
+        vg = self.vg
+        self.sel_flag = np.zeros(vg.num_ports, dtype=bool)
+        self.sel_count = np.zeros(vg.num_nodes, dtype=np.int64)
+        self.covered = np.zeros(vg.num_nodes, dtype=bool)
+
+    def _step(self, rnd):
+        if rnd < 2:
+            self._setup_step(rnd)
+            return
+        step = rnd - 2
+        (steps, starts, ent_k, ent_g, ent_peer, ent_ph2,
+         halt_steps, halt_starts, halt_k) = self._sched
+        found = _step_slice(steps, starts, step)
+        if found is not None:
+            s0, s1 = found
+            ks = ent_k[s0:s1]
+            gs = ent_g[s0:s1]
+            ph2 = ent_ph2[s0:s1]
+            peer = ent_peer[s0:s1]
+            run = self.running[ks]
+            cov = self.covered[ks]
+            sel = self.sel_flag[gs]
+            count = self.sel_count[ks]
+            # phase 1 sends its covered bit; phase 2 only for D-member
+            # ports, the bit saying the endpoint survives removal.
+            sending = run & (~ph2 | sel)
+            bits = np.where(ph2, count > 1, cov)
+            sends = gs[sending]
+            ok = self.deliver(rnd, sends)
+            if self.record:
+                self.log_sends(
+                    sends, PAYLOAD_COV, a=bits[sending], delivered=ok
+                )
+            # peer bits, via each entry's mate entry in the same step
+            has_peer = peer >= 0
+            rel = peer[has_peer] - s0
+            got = np.zeros(s1 - s0, dtype=bool)
+            got[has_peer] = sending[rel]
+            peer_bits = np.zeros(s1 - s0, dtype=bool)
+            peer_bits[has_peer] = bits[rel]
+            eligible = run & got
+            # phase 1: add unless both endpoints already covered
+            add = eligible & ~ph2 & ~(cov & peer_bits)
+            if add.any():
+                add_g = gs[add]
+                fresh = ~self.sel_flag[add_g]
+                self.sel_flag[add_g[fresh]] = True
+                self.sel_count[ks[add][fresh]] += 1
+                self.covered[ks[add]] = True
+            # phase 2: remove if both endpoints stay covered without it
+            rem = eligible & ph2 & sel & (count > 1) & peer_bits
+            if rem.any():
+                self.sel_flag[gs[rem]] = False
+                self.sel_count[ks[rem]] -= 1
+        found = _step_slice(halt_steps, halt_starts, step)
+        if found is not None:
+            h0, h1 = found
+            ks = halt_k[h0:h1]
+            ks = ks[self.running[ks]]
+            if len(ks):
+                self.halt_nodes(ks, _flag_outputs(self.vg, self.sel_flag, ks))
+
+
+# -- Theorem 5 -------------------------------------------------------------
+
+
+def _bounded_schedule(vg, delta):
+    """Phase lookup table + grouped phase-I entries for Δ' = *delta*."""
+    cg = vg.cg
+    try:
+        return cg.memo["vector_bounded", delta]
+    except KeyError:
+        pass
+    # step → ("I", pair) | ("II", stage, local) | ("III", local),
+    # identical to the batch schedule (a function of Δ' alone).
+    schedule: list[tuple] = []
+    for step in range(delta * delta):
+        schedule.append(("I", pair_at(step, delta)))
+    for stage in range(2, delta + 1):
+        for local in range(1 + 2 * stage):
+            schedule.append(("II", stage, local))
+    for local in range(1 + 2 * delta):
+        schedule.append(("III", local))
+
+    _, tag_k, tag_i, tag_j, tag_g = _label_tables(vg)
+    ent_step = (tag_i - 1) * delta + (tag_j - 1)
+    groups = _entry_groups(vg, ent_step, tag_k, tag_g)
+    memoed = (tuple(schedule), groups)
+    cg.memo["vector_bounded", delta] = memoed
+    return memoed
+
+
+class VectorBoundedDegree(_VectorLabelAware):
+    """Theorem 5's A(Δ'), vectorised (Δ' odd and ≥ 3).
+
+    Phase I is the grouped pair schedule; phases II/III keep the
+    proposal queues as one flat CSR array (``queue_flat`` with per-node
+    ``cursor``/``queue_end``) rebuilt at each stage kickoff, so propose
+    rounds are a gather and respond rounds a sort + first-occurrence
+    mask.  ``m_port``/``m_cov`` track the matching, ``p_flag`` the
+    phase III h-edges.
+    """
+
+    __slots__ = (
+        "delta",
+        "schedule",
+        "total_steps",
+        "_pairs",
+        "peer_degree",
+        "m_port",
+        "m_cov",
+        "p_flag",
+        "white_eligible",
+        "stage_accepted",
+        "out_done",
+        "accepted_in",
+        "queue_flat",
+        "queue_end",
+        "cursor",
+        "proposers",
+        "_phase3",
+        "_pending",
+    )
+
+    def __init__(
+        self, graph: PortNumberedGraph, max_degree: int, odd_delta: int
+    ) -> None:
+        for v in graph.nodes:
+            if graph.degree(v) > max_degree:
+                raise AlgorithmContractError(
+                    f"node degree {graph.degree(v)} exceeds promised bound "
+                    f"Δ = {max_degree}"
+                )
+        super().__init__(graph)
+        self.delta = odd_delta
+        self.schedule, self._pairs = _bounded_schedule(self.vg, odd_delta)
+        self.total_steps = len(self.schedule)
+        vg = self.vg
+        n = vg.num_nodes
+        self.peer_degree = vg.degrees[vg.peer_node]
+        self.m_port = np.full(n, -1, dtype=np.int64)
+        self.m_cov = np.zeros(n, dtype=bool)
+        self.p_flag = np.zeros(vg.num_ports, dtype=bool)
+        self.white_eligible = np.zeros(n, dtype=bool)
+        self.stage_accepted = np.zeros(n, dtype=bool)
+        self.out_done = np.zeros(n, dtype=bool)
+        self.accepted_in = np.zeros(n, dtype=bool)
+        self.queue_flat = np.zeros(0, dtype=np.int64)
+        self.queue_end = np.zeros(n, dtype=np.int64)
+        self.cursor = np.zeros(n, dtype=np.int64)
+        self.proposers = np.zeros(0, dtype=np.int64)
+        self._phase3 = False
+        self._pending = None
+
+    def _step(self, rnd):
+        if rnd < 2:
+            self._setup_step(rnd)
+            return
+        step = rnd - 2
+        located = self.schedule[step]
+        kind = located[0]
+        if kind == "I":
+            self._pair_step(rnd, step)
+        else:
+            local = located[2] if kind == "II" else located[1]
+            if local == 0:
+                self._kickoff(rnd, located)
+            elif (local - 1) % 2 == 0:
+                self._propose(rnd)
+            else:
+                self._respond(rnd)
+        if step + 1 >= self.total_steps:
+            ks = np.flatnonzero(self.running)
+            if len(ks):
+                self.halt_nodes(
+                    ks,
+                    _flag_outputs(self.vg, self.p_flag, ks, self.m_port),
+                )
+
+    def _pair_step(self, rnd, step):
+        """Phase I: greedy maximal matching on the M(i, j) edge class."""
+        steps, starts, ent_k, ent_g, ent_peer = self._pairs
+        found = _step_slice(steps, starts, step)
+        if found is None:
+            return
+        s0, s1 = found
+        ks = ent_k[s0:s1]
+        gs = ent_g[s0:s1]
+        peer = ent_peer[s0:s1]
+        cov = self.m_cov[ks]
+        ok = self.deliver(rnd, gs)
+        if self.record:
+            self.log_sends(gs, PAYLOAD_MCOV, a=cov, delivered=ok)
+        # Both tagged endpoints of a pair schedule the same step, so
+        # every entry's peer slot resolves while any node runs.
+        has_peer = peer >= 0
+        got = np.zeros(s1 - s0, dtype=bool)
+        got[has_peer] = True
+        peer_bits = np.zeros(s1 - s0, dtype=bool)
+        peer_bits[has_peer] = cov[peer[has_peer] - s0]
+        # add to M iff *neither* endpoint is covered (§7 phase I)
+        update = got & ~cov & ~peer_bits
+        if update.any():
+            self.m_port[ks[update]] = self.vg.local[gs[update]]
+            self.m_cov[ks[update]] = True
+
+    def _kickoff(self, rnd, located):
+        """Stage / phase III boundary: total status broadcast + reset."""
+        vg = self.vg
+        sends = vg.all_ports
+        ok = self.deliver(rnd, sends)
+        if self.record:
+            code = PAYLOAD_SCOV if located[0] == "II" else PAYLOAD_HCOV
+            self.log_sends(
+                sends, code, a=self.m_cov[vg.port_node], delivered=ok
+            )
+        if located[0] == "II":
+            self._start_stage(located[1])
+        else:
+            self._start_h()
+
+    def _set_queues(self, port_mask):
+        """Rebuild the flat proposal queues from a per-port mask."""
+        vg = self.vg
+        queued = np.flatnonzero(port_mask)
+        counts = np.bincount(
+            vg.port_node[queued], minlength=vg.num_nodes
+        )
+        self.queue_flat = queued
+        self.queue_end = np.cumsum(counts)
+        self.cursor = self.queue_end - counts
+        self.proposers = np.flatnonzero(counts)
+
+    def _start_stage(self, stage):
+        """Stage setup: white/black roles from the scov bits.
+
+        Black (uncovered, degree == stage) nodes queue their ports
+        towards uncovered smaller-degree neighbours; whites (uncovered,
+        degree < stage) are eligible acceptors.
+        """
+        vg = self.vg
+        degrees = vg.degrees
+        uncovered = ~self.m_cov
+        self._phase3 = False
+        self.white_eligible = uncovered & (degrees < stage)
+        self.stage_accepted[:] = False
+        owner = vg.port_node
+        self._set_queues(
+            uncovered[owner]
+            & (degrees[owner] == stage)
+            & (self.peer_degree < stage)
+            & uncovered[vg.peer_node]
+        )
+
+    def _start_h(self):
+        """Phase III setup: every uncovered node proposes along its
+        uncovered neighbours; acceptance state starts clean."""
+        vg = self.vg
+        uncovered = ~self.m_cov
+        self._phase3 = True
+        self.accepted_in[:] = False
+        self._set_queues(uncovered[vg.port_node] & uncovered[vg.peer_node])
+        self.out_done = self.cursor >= self.queue_end
+
+    def _propose(self, rnd):
+        props = self.proposers
+        if self._phase3:
+            live = ~self.out_done[props]
+        else:
+            live = ~self.stage_accepted[props]
+        live &= self.cursor[props] < self.queue_end[props]
+        active = props[live]
+        sends = self.queue_flat[self.cursor[active]]
+        ok = self.deliver(rnd, sends)
+        if self.record:
+            self.log_sends(sends, PAYLOAD_PROP, delivered=ok)
+        self._pending = sends if ok is None else sends[ok]
+
+    def _respond(self, rnd):
+        """Group pending proposals per responder; the smallest pending
+        port wins when the responder is eligible to accept."""
+        vg = self.vg
+        src = self._pending
+        self._pending = None
+        targets = vg.mate[src]
+        order = np.argsort(targets)
+        tgs = targets[order]
+        tks = vg.port_node[tgs]
+        first = np.ones(len(tgs), dtype=bool)
+        first[1:] = tks[1:] != tks[:-1]
+        if self._phase3:
+            eligible = ~self.accepted_in[tks]
+        else:
+            eligible = self.white_eligible[tks] & (self.m_port[tks] < 0)
+        acc = first & eligible
+        ok = self.deliver(rnd, tgs)
+        if self.record:
+            codes = np.where(acc, PAYLOAD_ACC, PAYLOAD_REJ)
+            self.log_sends(tgs, codes, delivered=ok)
+        # responder-side state (the batch program updates at send time)
+        winners = tgs[acc]
+        acceptors = tks[acc]
+        if self._phase3:
+            self.p_flag[winners] = True
+            self.accepted_in[acceptors] = True
+        else:
+            self.m_port[acceptors] = vg.local[winners]
+            self.m_cov[acceptors] = True
+            self.stage_accepted[acceptors] = True
+        # proposer-side state (updates on reply delivery)
+        delivered = ok if ok is not None else np.ones(len(tgs), dtype=bool)
+        sorted_src = src[order]
+        acc_src = sorted_src[acc & delivered]
+        acc_prop = vg.port_node[acc_src]
+        if self._phase3:
+            self.p_flag[acc_src] = True
+            self.out_done[acc_prop] = True
+        else:
+            self.m_port[acc_prop] = vg.local[acc_src]
+            self.m_cov[acc_prop] = True
+            self.stage_accepted[acc_prop] = True
+        rej_prop = vg.port_node[sorted_src[~acc & delivered]]
+        self.cursor[rej_prop] += 1
+        if self._phase3:
+            self.out_done[rej_prop] |= (
+                self.cursor[rej_prop] >= self.queue_end[rej_prop]
+            )
+
+
+# -- [21] double cover -----------------------------------------------------
+
+
+class VectorDoubleCover(VectorProgram):
+    """The [21] double-cover proposal protocol, vectorised."""
+
+    __slots__ = ("delta", "cursor", "out_done", "accepted_in", "p_flag",
+                 "_pending")
+
+    def __init__(self, graph: PortNumberedGraph, max_degree: int) -> None:
+        for v in graph.nodes:
+            if graph.degree(v) > max_degree:
+                raise AlgorithmContractError(
+                    f"node degree {graph.degree(v)} exceeds promised bound "
+                    f"Δ = {max_degree}"
+                )
+        super().__init__(graph)
+        self.delta = max_degree
+        vg = self.vg
+        n = vg.num_nodes
+        self.cursor = np.zeros(n, dtype=np.int64)  # 0-based propose index
+        self.out_done = vg.degrees == 0
+        self.accepted_in = np.zeros(n, dtype=bool)
+        self.p_flag = np.zeros(vg.num_ports, dtype=bool)
+        self._pending = None
+
+    def _step(self, rnd):
+        vg = self.vg
+        if rnd % 2 == 0:
+            # propose sub-round
+            active = np.flatnonzero(
+                self.running & ~self.out_done & (self.cursor < vg.degrees)
+            )
+            sends = vg.offsets[active] + self.cursor[active]
+            ok = self.deliver(rnd, sends)
+            if self.record:
+                self.log_sends(sends, PAYLOAD_PROP, delivered=ok)
+            self._pending = sends if ok is None else sends[ok]
+        else:
+            # respond sub-round: smallest pending port wins per node
+            src = self._pending
+            self._pending = None
+            targets = vg.mate[src]
+            order = np.argsort(targets)
+            tgs = targets[order]
+            tks = vg.port_node[tgs]
+            first = np.ones(len(tgs), dtype=bool)
+            first[1:] = tks[1:] != tks[:-1]
+            acc = first & ~self.accepted_in[tks]
+            ok = self.deliver(rnd, tgs)
+            if self.record:
+                codes = np.where(acc, PAYLOAD_ACC, PAYLOAD_REJ)
+                self.log_sends(tgs, codes, delivered=ok)
+            self.p_flag[tgs[acc]] = True
+            self.accepted_in[tks[acc]] = True
+            delivered = (
+                ok if ok is not None else np.ones(len(tgs), dtype=bool)
+            )
+            sorted_src = src[order]
+            acc_src = sorted_src[acc & delivered]
+            acc_prop = vg.port_node[acc_src]
+            self.p_flag[acc_src] = True
+            self.out_done[acc_prop] = True
+            rej_prop = vg.port_node[sorted_src[~acc & delivered]]
+            self.cursor[rej_prop] += 1
+            self.out_done[rej_prop] |= (
+                self.cursor[rej_prop] >= vg.degrees[rej_prop]
+            )
+        if rnd + 1 >= 2 * self.delta:
+            ks = np.flatnonzero(self.running)
+            if len(ks):
+                self.halt_nodes(ks, _flag_outputs(vg, self.p_flag, ks))
+
+
+# -- identified-model greedy matching --------------------------------------
+
+
+class VectorGreedyMatchingIds(VectorProgram):
+    """The identified-model greedy maximal matching, vectorised.
+
+    Nodes halt as soon as they are matched or exhausted, so this kernel
+    genuinely exercises the drop accounting of :meth:`deliver`.  Raises
+    :class:`OverflowError` when an identifier does not fit int64 — the
+    factory hook turns that into a compiled-engine fallback.
+    """
+
+    __slots__ = ("uid", "nid", "proposed", "accepted", "_pending")
+
+    def __init__(self, graph: PortNumberedGraph, ids) -> None:
+        super().__init__(graph)
+        cg = self.cg
+        # OverflowError here (id beyond int64) aborts vectorisation.
+        self.uid = np.array([ids[v] for v in cg.nodes], dtype=np.int64)
+        vg = self.vg
+        self.nid = (
+            self.uid[vg.peer_node]
+            if vg.num_nodes
+            else np.zeros(0, dtype=np.int64)
+        )
+        n = vg.num_nodes
+        self.proposed = np.full(n, -1, dtype=np.int64)  # gport or -1
+        self.accepted = np.full(n, -1, dtype=np.int64)  # local port or -1
+        self._pending = None
+
+    def _step(self, rnd):
+        vg = self.vg
+        running = self.running
+        if rnd == 0:
+            sends = vg.all_ports  # id exchange: nobody halted yet
+            ok = self.deliver(rnd, sends)
+            if self.record:
+                self.log_sends(
+                    sends,
+                    PAYLOAD_ID,
+                    a=self.uid[vg.port_node],
+                    delivered=ok,
+                )
+            return
+        phase = (rnd - 1) % 3
+        if phase == 0:
+            # status broadcast; running nodes keep addressing halted
+            # neighbours, so this is where sends drop.
+            sends = np.flatnonzero(running[vg.port_node])
+            ok = self.deliver(rnd, sends)
+            if self.record:
+                self.log_sends(sends, PAYLOAD_ALIVE, delivered=ok)
+            # a port hears "alive" iff its peer's owner is running
+            alive = running[vg.peer_node]
+            key = np.where(alive, self.nid, _INF)
+            min_id = vg.segment_min(key, _INF)
+            has_alive = vg.segment_min(
+                np.where(alive, 0, 1).astype(np.int64), 1
+            ) == 0
+            finished = running & ~has_alive
+            candidates = np.where(
+                alive & (self.nid == min_id[vg.port_node]),
+                vg.all_ports,
+                _INF,
+            )
+            best = vg.segment_min(candidates, _INF)
+            proposers = running & has_alive & (min_id < self.uid)
+            self.proposed[:] = -1
+            self.proposed[proposers] = best[proposers]
+            self.accepted[:] = -1
+            done = np.flatnonzero(finished)
+            if len(done):
+                self.halt_nodes(done, [frozenset()] * len(done))
+        elif phase == 1:
+            sources = np.flatnonzero(self.proposed >= 0)
+            sends = self.proposed[sources]
+            ok = self.deliver(rnd, sends)
+            if self.record:
+                self.log_sends(
+                    sends, PAYLOAD_PROP_ID, a=self.uid[sources], delivered=ok
+                )
+            self._pending = sends if ok is None else sends[ok]
+        else:
+            src = self._pending
+            self._pending = None
+            targets = vg.mate[src]
+            responders = vg.port_node[targets]
+            proposer_uid = self.uid[vg.port_node[src]]
+            # replies per responder, proposals ordered by (uid, port)
+            order = np.lexsort(
+                (vg.local[targets], proposer_uid, responders)
+            )
+            tgs = targets[order]
+            tks = responders[order]
+            first = np.ones(len(tgs), dtype=bool)
+            first[1:] = tks[1:] != tks[:-1]
+            acc = first & (self.proposed[tks] < 0)
+            ok = self.deliver(rnd, tgs)
+            if self.record:
+                codes = np.where(acc, PAYLOAD_ACC, PAYLOAD_REJ)
+                self.log_sends(tgs, codes, delivered=ok)
+            winners = tgs[acc]
+            acceptors = tks[acc]
+            self.accepted[acceptors] = vg.local[winners]
+            delivered = (
+                ok if ok is not None else np.ones(len(tgs), dtype=bool)
+            )
+            sorted_src = src[order]
+            matched_src = sorted_src[acc & delivered]
+            matched = vg.port_node[matched_src]
+            halting = np.concatenate([acceptors, matched])
+            out_port = np.concatenate(
+                [vg.local[winners], vg.local[matched_src]]
+            )
+            by_node = np.argsort(halting)
+            halting = halting[by_node]
+            out_port = out_port[by_node]
+            if len(halting):
+                self.halt_nodes(
+                    halting,
+                    [frozenset({int(p)}) for p in out_port.tolist()],
+                )
+            self.proposed[:] = -1

@@ -79,6 +79,7 @@ from repro.experiments.sweeps import (
 from repro.experiments.table1 import format_table1, reproduce_table1
 from repro.generators.bounded import grid, random_bounded_degree
 from repro.generators.regular import cycle, random_regular
+from repro.exceptions import SimulationError
 from repro.obs import configure_logging, render_report, telemetry, write_trace
 from repro.registry import (
     algorithm_names,
@@ -86,6 +87,7 @@ from repro.registry import (
     measure_names,
     resolve,
 )
+from repro.runtime import ENGINES, engines_available, use_engine
 
 __all__ = ["main", "build_parser"]
 
@@ -364,6 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("-d", type=int, default=3,
                       help="degree (regular) / max degree (bounded)")
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="simulation engine for the run (default: the scheduler's "
+        "own choice; 'vector' needs the numpy [vector] extra, 'auto' "
+        "falls back to 'compiled' without it)",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -428,9 +436,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=DEFAULT_CACHE_DIR,
         help=f"cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    profile.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="simulation engine for the profiled units (forces the "
+        "inline backend: the engine override is per-process state and "
+        "does not cross into pool workers)",
+    )
     _add_trace_flag(profile)
 
     return parser
+
+
+def _engines_line() -> str:
+    """One line naming every engine and whether it can run here."""
+    avail = engines_available()
+    parts = [
+        name if ok else f"{name} (unavailable: install repro-eds[vector])"
+        for name, ok in avail.items()
+    ]
+    return "engines: " + ", ".join(parts)
 
 
 def _run_demo(args: argparse.Namespace) -> str:
@@ -456,8 +480,9 @@ def _run_demo(args: argparse.Namespace) -> str:
         args.algorithm, rng_seed=derive_seed("demo", args.seed)
     )
     spec = AlgorithmSpec.from_bound(bound)
-    row = run_on(spec, graph, graph_label=label)
-    return format_table(
+    with use_engine(args.engine):
+        row = run_on(spec, graph, graph_label=label)
+    table = format_table(
         ["graph", "algorithm", "n", "m", "|D|",
          "opt" + ("" if row.optimum_exact else " (LB)"), "ratio", "rounds"],
         [
@@ -474,6 +499,7 @@ def _run_demo(args: argparse.Namespace) -> str:
         ],
         title="demo run",
     )
+    return f"{table}\n{_engines_line()}"
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -550,7 +576,11 @@ def _dispatch(args: argparse.Namespace) -> int:
     elif args.command == "render":
         print(_run_render(args))
     elif args.command == "demo":
-        print(_run_demo(args))
+        try:
+            print(_run_demo(args))
+        except SimulationError as exc:
+            print(f"ERROR: {exc}", file=sys.stderr)
+            return 2
     elif args.command == "profile":
         return _run_profile(args)
     return 0
@@ -771,22 +801,38 @@ def _run_profile(args: argparse.Namespace) -> int:
     if args.limit > 0:
         units = units[: args.limit]
 
-    with telemetry() as session:
+    backend = args.backend
+    workers = max(1, args.workers)
+    if args.engine is not None and (backend != "inline" or workers != 1):
+        # The override is a ContextVar; pool workers would ignore it.
+        print(
+            f"note: --engine {args.engine} forces the inline backend "
+            "(the engine override does not cross into pool workers)",
+            file=sys.stderr,
+        )
+        backend = "inline"
+        workers = 1
+
+    with telemetry() as session, use_engine(args.engine):
         api.run_sweep(
             units,
-            workers=max(1, args.workers),
+            workers=workers,
             cache=_engine_cache(args),
-            backend=args.backend,
+            backend=backend,
             progress=ProgressPrinter(
                 len(units), label=f"profile:{scenario.name}"
             ),
         )
+    engine_note = (
+        "" if args.engine is None else f", engine={args.engine}"
+    )
     print(render_report(
         session,
         top=args.top,
         title=f"profile: {scenario.name} ({len(units)} unit(s), "
-        f"backend={args.backend})",
+        f"backend={backend}{engine_note})",
     ))
+    print(_engines_line())
     if args.trace:
         lines = write_trace(
             args.trace, session, meta={"command": "profile"}

@@ -12,6 +12,7 @@ Metric names used by the built-in instrumentation:
 ``unit.wall_s``                         histogram — per-unit wall time
 ``phase.<name>``                        histogram — per-unit phase self time
 ``runtime.runs``                        counter — scheduler executions
+``runtime.vector.runs``                 counter — runs on the vector engine
 ``runtime.rounds``                      counter — communication rounds
 ``runtime.messages.delivered``          counter — messages delivered
 ``runtime.messages.dropped``            counter — sends to halted nodes

@@ -109,8 +109,12 @@ def _counter_lines(session: TelemetrySession) -> list[str]:
         delivered = m.counter("runtime.messages.delivered")
         dropped = m.counter("runtime.messages.dropped")
         per_s = f", {rounds / wall:.1f} rounds/s" if wall else ""
+        vector_runs = m.counter("runtime.vector.runs")
+        vector_note = (
+            f" ({vector_runs:g} on the vector engine)" if vector_runs else ""
+        )
         lines.append(
-            f"runtime: {m.counter('runtime.runs'):g} runs, "
+            f"runtime: {m.counter('runtime.runs'):g} runs{vector_note}, "
             f"{rounds:g} rounds{per_s}; messages: {delivered:g} "
             f"delivered, {dropped:g} dropped"
         )

@@ -107,6 +107,23 @@ class CompiledGraph:
         #: construction intermediates.
         self.memo: dict = {"flat_lists": (mate_list, port_owner)}
 
+    def vector(self):
+        """The numpy struct-of-arrays view of this graph, memoised.
+
+        Requires the optional ``[vector]`` extra; callers check
+        :func:`repro.portgraph.vector.numpy_available` first (the
+        vector engine falls back to the compiled loop when numpy is
+        missing).
+        """
+        try:
+            return self.memo["vector_graph"]
+        except KeyError:
+            from repro.portgraph.vector import VectorGraph
+
+            vg = VectorGraph(self)
+            self.memo["vector_graph"] = vg
+            return vg
+
     def flat_lists(self) -> tuple[list, list]:
         """``(mate, port_node)`` as plain lists, memoised.
 

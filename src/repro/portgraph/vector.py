@@ -1,0 +1,141 @@
+"""The numpy struct-of-arrays view of a compiled port graph.
+
+:class:`~repro.portgraph.compiled.CompiledGraph` lowers a port-numbered
+graph into flat ``array('q')`` tables sized for CPython loops; the
+vector engine (:mod:`repro.runtime.vector`) wants the same tables as
+``np.int64`` arrays so one round of the simulation becomes a handful of
+whole-graph array operations — messages gathered through the involution
+with a single fancy-index, per-node state reduced over CSR segments
+with ``reduceat``.  :class:`VectorGraph` is that view: derived once per
+compiled graph and memoised alongside the other derived tables
+(``CompiledGraph.memo``), so repeated runs share it exactly like the
+batch programs share their schedules.
+
+numpy is an *optional* dependency (the ``[vector]`` extra).  This
+module imports without it — :data:`np` is ``None`` and
+:func:`numpy_available` answers ``False`` — and every consumer is
+expected to check availability before constructing a view.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+try:  # pragma: no cover - exercised via the no-numpy CI job
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.portgraph.compiled import CompiledGraph
+
+__all__ = ["VectorGraph", "np", "numpy_available", "numpy_version"]
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy dependency is importable."""
+    return np is not None
+
+
+def numpy_version() -> str | None:
+    """The installed numpy version, or ``None`` when unavailable."""
+    return None if np is None else np.__version__
+
+
+#: Sentinel for "no value" in int64 segment reductions.
+_INT64_MAX = (1 << 63) - 1
+
+
+class VectorGraph:
+    """``np.int64`` tables of one compiled graph, indexed by global port.
+
+    Attributes
+    ----------
+    offsets / degrees / mate / port_node:
+        The compiled tables as numpy arrays (``offsets`` has length
+        ``n + 1``; the rest are per-port / per-node).
+    local:
+        1-based local port number of every global port.
+    peer_node / peer_local:
+        Owning node index / local port number at the far end of every
+        global port (one ``mate`` gather, precomputed).
+    all_ports:
+        ``np.arange(num_ports)`` — the identity send list of a total
+        broadcast round.
+    """
+
+    __slots__ = (
+        "cg",
+        "num_nodes",
+        "num_ports",
+        "offsets",
+        "degrees",
+        "mate",
+        "port_node",
+        "local",
+        "peer_node",
+        "peer_local",
+        "all_ports",
+        "_starts",
+    )
+
+    def __init__(self, cg: "CompiledGraph") -> None:
+        if np is None:  # pragma: no cover - callers guard
+            raise ImportError(
+                "VectorGraph needs numpy; install the [vector] extra"
+            )
+        self.cg = cg
+        n = cg.num_nodes
+        total = cg.num_ports
+        self.num_nodes = n
+        self.num_ports = total
+        # array('q') exposes the buffer protocol: these are zero-copy
+        # read-only-by-convention views of the compiled tables.
+        self.offsets = np.frombuffer(cg.offsets, dtype=np.int64)
+        self.mate = np.frombuffer(cg.mate, dtype=np.int64)
+        self.port_node = np.frombuffer(cg.port_node, dtype=np.int64)
+        self.degrees = np.asarray(cg.degrees, dtype=np.int64)
+        self.all_ports = np.arange(total, dtype=np.int64)
+        self.local = self.all_ports - self.offsets[self.port_node] + 1
+        self.peer_node = self.port_node[self.mate]
+        self.peer_local = self.local[self.mate]
+        # reduceat segment starts, clipped so empty trailing segments
+        # stay in bounds (their results are masked out by callers).
+        if total:
+            self._starts = np.minimum(self.offsets[:-1], total - 1)
+        else:
+            self._starts = None
+
+    def segment_min(self, values, empty: int = _INT64_MAX):
+        """Per-node minimum of a per-port int64 array.
+
+        ``values[offsets[k]:offsets[k+1]].min()`` for every node, with
+        *empty* filled in for degree-0 nodes (``reduceat`` has no empty
+        -segment semantics, so their slots are overwritten).
+        """
+        if self._starts is None:
+            return np.full(self.num_nodes, empty, dtype=np.int64)
+        out = np.minimum.reduceat(values, self._starts)
+        if (self.degrees == 0).any():
+            out = np.where(self.degrees == 0, empty, out)
+        return out
+
+    def port_sets(self, mask) -> "list[frozenset[int]]":
+        """Per-node frozensets of the local ports selected by *mask*.
+
+        The one deliberately-Python step of the vector engine: outputs
+        are materialised once per run, after the array loop finishes.
+        """
+        selected = np.flatnonzero(mask)
+        locs = self.local[selected].tolist()
+        owners = self.port_node[selected]
+        bounds = np.searchsorted(
+            owners, np.arange(self.num_nodes + 1, dtype=np.int64)
+        )
+        return [
+            frozenset(locs[bounds[k]:bounds[k + 1]])
+            for k in range(self.num_nodes)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"VectorGraph(n={self.num_nodes}, ports={self.num_ports})"

@@ -16,11 +16,13 @@ from repro.runtime.scheduler import (
     DEFAULT_MAX_ROUNDS,
     ENGINES,
     RunResult,
+    engines_available,
     run_anonymous,
     run_identified,
     use_engine,
 )
 from repro.runtime.trace import ExecutionTrace, RoundTrace, SentMessage
+from repro.runtime.vector import VectorProgram, vector_available
 
 __all__ = [
     "NodeProgram",
@@ -29,6 +31,9 @@ __all__ = [
     "Message",
     "ABSENT",
     "BatchProgram",
+    "VectorProgram",
+    "vector_available",
+    "engines_available",
     "RunResult",
     "run_anonymous",
     "run_identified",

@@ -21,12 +21,21 @@ one read of the flat involution array instead of a tuple-hash dict
 lookup, the delivery order is the graph's own construction order (no
 per-run re-derivation), per-node inbox mappings are preallocated once
 and reused across rounds, and traces are reconstructed from a flat log
-after the run instead of allocating per-round objects.  Three engines
+after the run instead of allocating per-round objects.  Five engines
 share the public entry points:
 
 * ``"compiled"`` (default) — the flat-array loop; algorithms that opt in
   to the batch-stepping protocol (:mod:`repro.runtime.batch`) advance
   all nodes in one call per round instead of ``2·n`` dispatches;
+* ``"vector"`` — the numpy struct-of-arrays loop
+  (:mod:`repro.runtime.vector`): one round is a handful of whole-graph
+  array operations.  Needs the optional ``[vector]`` extra (numpy) —
+  selecting it explicitly without numpy raises
+  :class:`~repro.exceptions.SimulationError`; algorithms without a
+  vector kernel fall back to the compiled engine with a one-time
+  logged notice;
+* ``"auto"`` — ``"vector"`` when numpy and a vector kernel are
+  available, silently ``"compiled"`` otherwise;
 * ``"pernode"`` — the flat-array loop with batch stepping disabled
   (every algorithm runs through its per-node programs);
 * ``"legacy"`` — the original dict-based reference loop
@@ -41,6 +50,7 @@ a whole region with :func:`use_engine`.
 
 from __future__ import annotations
 
+import logging
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
@@ -62,16 +72,19 @@ from repro.runtime.trace import ExecutionTrace, trace_from_log
 __all__ = [
     "ENGINES",
     "RunResult",
+    "engines_available",
     "run_anonymous",
     "run_identified",
     "use_engine",
     "DEFAULT_MAX_ROUNDS",
 ]
 
+logger = logging.getLogger(__name__)
+
 DEFAULT_MAX_ROUNDS = 100_000
 
 #: The selectable execution engines (see the module docstring).
-ENGINES = ("compiled", "pernode", "legacy")
+ENGINES = ("compiled", "vector", "auto", "pernode", "legacy")
 
 _engine_override: ContextVar[str | None] = ContextVar(
     "repro_runtime_engine", default=None
@@ -292,6 +305,97 @@ def _execute_batch(
     return RunResult(graph=graph, outputs=outputs, rounds=rnd, trace=trace)
 
 
+def _execute_vector(
+    graph: PortNumberedGraph,
+    vec,
+    max_rounds: int,
+    record_trace: bool,
+    strict_delivery: bool = False,
+) -> RunResult:
+    """The vector round loop: one array-ops ``step_all`` per round."""
+    vec.record = record_trace
+    vec.strict = strict_delivery
+    rec = current_recorder()
+    vec.collect = rec is not None
+    rnd = 0
+
+    while vec.num_running:
+        if rnd >= max_rounds:
+            raise RoundLimitExceeded(
+                f"{vec.num_running} node(s) still running after "
+                f"{max_rounds} rounds"
+            )
+        vec.step_all(rnd)
+        rnd += 1
+
+    cg = vec.cg
+    outputs: dict[Node, frozenset[int]] = {}
+    for k, v in enumerate(cg.nodes):
+        out = vec.outputs[k]
+        assert out is not None  # loop exits only when all nodes halted
+        outputs[v] = out
+    if rec is not None:
+        _record_run(rec, rnd, vec.delivered, vec.dropped)
+        rec.count("runtime.vector.runs")
+        rec.annotate(vector=True)
+    trace = None
+    if record_trace:
+        trace = trace_from_log(cg, vec.materialise_log())
+    return RunResult(graph=graph, outputs=outputs, rounds=rnd, trace=trace)
+
+
+#: Algorithms already reported as lacking a vector kernel (the
+#: fall-back notice is logged once per algorithm, not per run).
+_vector_fallback_seen: set[str] = set()
+
+
+def engines_available() -> "dict[str, bool]":
+    """Engine name → availability in this environment.
+
+    Everything but ``"vector"`` is always available; ``"vector"`` needs
+    the optional numpy dependency (``"auto"`` is listed available
+    regardless — it silently falls back).  The CLI surfaces this in
+    ``repro-eds demo`` / ``profile``.
+    """
+    from repro.runtime.vector import vector_available
+
+    return {name: name != "vector" or vector_available() for name in ENGINES}
+
+
+def _make_vector_program(algorithm, graph, ids, explicit: bool):
+    """Resolve an algorithm's vector kernel, or ``None`` to fall back.
+
+    Explicitly requesting ``engine="vector"`` without numpy is an
+    actionable error; with numpy but no vector kernel it falls back to
+    the compiled engine with a one-time logged notice.  ``auto`` mode
+    (``explicit=False``) degrades silently on both counts.
+    """
+    from repro.runtime.vector import vector_available
+
+    if not vector_available():
+        if explicit:
+            raise SimulationError(
+                "engine='vector' requires numpy, which is not installed; "
+                "install the optional extra (pip install repro-eds[vector]) "
+                "or use engine='auto' to fall back automatically"
+            )
+        return None
+    hook = getattr(algorithm, "vector_program", None)
+    vec = None
+    if hook is not None:
+        vec = hook(graph) if ids is None else hook(graph, ids)
+    if vec is None and explicit:
+        name = getattr(algorithm, "__name__", None) or type(algorithm).__name__
+        if name not in _vector_fallback_seen:
+            _vector_fallback_seen.add(name)
+            logger.info(
+                "algorithm %s has no vector program; engine='vector' "
+                "falls back to the compiled engine",
+                name,
+            )
+    return vec
+
+
 def _annotate_engine(resolved: str) -> None:
     """Tag the enclosing telemetry span (if any) with the engine name."""
     rec = current_recorder()
@@ -346,6 +450,16 @@ def run_anonymous(
     (see :mod:`repro.runtime.batch`) is stepped all-nodes-at-once.
     """
     resolved = _resolve_engine(engine)
+    if resolved in ("vector", "auto"):
+        vec = _make_vector_program(
+            algorithm, graph, None, explicit=resolved == "vector"
+        )
+        if vec is not None:
+            _annotate_engine("vector")
+            return _execute_vector(
+                graph, vec, max_rounds, record_trace, strict_delivery
+            )
+        resolved = "compiled"
     _annotate_engine(resolved)
     if resolved == "compiled":
         make_batch = getattr(algorithm, "batch_program", None)
@@ -391,6 +505,16 @@ def run_identified(
         raise SimulationError("node identifiers must be unique")
 
     resolved = _resolve_engine(engine)
+    if resolved in ("vector", "auto"):
+        vec = _make_vector_program(
+            algorithm, graph, ids, explicit=resolved == "vector"
+        )
+        if vec is not None:
+            _annotate_engine("vector")
+            return _execute_vector(
+                graph, vec, max_rounds, record_trace, strict_delivery
+            )
+        resolved = "compiled"
     _annotate_engine(resolved)
     if resolved == "compiled":
         make_batch = getattr(algorithm, "batch_program", None)

@@ -1,0 +1,262 @@
+"""The vector execution engine: whole-graph rounds as numpy array ops.
+
+A :class:`~repro.runtime.batch.BatchProgram` advances all nodes in one
+call per round, but that call still loops over nodes (or schedule
+entries) in Python.  A :class:`VectorProgram` removes the inner loop
+too: per-node state lives in typed numpy arrays (struct-of-arrays),
+messages are gathered through the flat involution with one fancy-index,
+and each round is a handful of whole-graph array operations over a
+:class:`~repro.portgraph.vector.VectorGraph`.
+
+Observational identity is the contract, exactly as for batch programs:
+same outputs, same round counts, and the same messages in the same
+canonical order (ascending node index, then the per-node program's send
+-mapping order) as the compiled engine — the differential suite holds
+every vector kernel to that.
+
+Tracing is *lazy*: the hot loop never allocates message objects.  When
+a trace is requested, each round appends compact **slabs** — the send
+gports plus a payload code and up to two int columns — and
+:meth:`VectorProgram.materialise_log` expands them into the flat
+``(source, target, payload, dropped)`` log after the run, feeding the
+same :func:`~repro.runtime.trace.trace_from_log` path as the compiled
+engine.
+
+numpy is optional (the ``[vector]`` extra): this module imports without
+it, and :func:`vector_available` gates every construction site.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.exceptions import SimulationError
+from repro.portgraph.graph import PortNumberedGraph
+from repro.portgraph.vector import np, numpy_available
+
+__all__ = ["VectorProgram", "vector_available", "PAYLOADS"]
+
+
+def vector_available() -> bool:
+    """Whether the vector engine can run (numpy importable)."""
+    return numpy_available()
+
+
+# -- payload codec ---------------------------------------------------------
+#
+# Message payloads of the built-in algorithms are small tagged tuples (or
+# plain ints); inside the round loop they are stored as an integer code
+# plus up to two int64 columns and only decoded when a trace is
+# materialised.
+
+PAYLOAD_INT = 0  # column a          -> a              (port_one)
+PAYLOAD_HELLO = 1  # columns a, b    -> ("hello", a, b)
+PAYLOAD_DN = 2  # column a (0/1)     -> ("dn", bool)
+PAYLOAD_COV = 3  # column a (0/1)    -> ("cov", bool)
+PAYLOAD_MCOV = 4  # column a (0/1)   -> ("mcov", bool)
+PAYLOAD_SCOV = 5  # column a (0/1)   -> ("scov", bool)
+PAYLOAD_HCOV = 6  # column a (0/1)   -> ("hcov", bool)
+PAYLOAD_PROP = 7  # no columns       -> ("prop",)
+PAYLOAD_ACC = 8  # no columns        -> ("acc",)
+PAYLOAD_REJ = 9  # no columns        -> ("rej",)
+PAYLOAD_ID = 10  # column a          -> ("id", a)
+PAYLOAD_ALIVE = 11  # no columns     -> ("alive",)
+PAYLOAD_PROP_ID = 12  # column a     -> ("prop", a)
+
+#: code → constant payload, for the column-free codes.
+_CONSTANT_PAYLOADS = {
+    PAYLOAD_PROP: ("prop",),
+    PAYLOAD_ACC: ("acc",),
+    PAYLOAD_REJ: ("rej",),
+    PAYLOAD_ALIVE: ("alive",),
+}
+
+#: code → tag, for the single-bool codes.
+_BOOL_TAGS = {
+    PAYLOAD_DN: "dn",
+    PAYLOAD_COV: "cov",
+    PAYLOAD_MCOV: "mcov",
+    PAYLOAD_SCOV: "scov",
+    PAYLOAD_HCOV: "hcov",
+}
+
+PAYLOADS = tuple(range(13))
+
+
+def _decode(code: int, a, b) -> object:
+    """One slab entry's payload back to the object the batch engine sends."""
+    if code == PAYLOAD_INT:
+        return int(a)
+    tag = _BOOL_TAGS.get(code)
+    if tag is not None:
+        return (tag, bool(a))
+    constant = _CONSTANT_PAYLOADS.get(code)
+    if constant is not None:
+        return constant
+    if code == PAYLOAD_HELLO:
+        return ("hello", int(a), int(b))
+    if code == PAYLOAD_ID:
+        return ("id", int(a))
+    if code == PAYLOAD_PROP_ID:
+        return ("prop", int(a))
+    raise ValueError(f"unknown payload code {code}")  # pragma: no cover
+
+
+class VectorProgram(abc.ABC):
+    """All nodes of one graph, stepped together as numpy arrays.
+
+    Mirrors the :class:`~repro.runtime.batch.BatchProgram` surface the
+    scheduler reads — ``running``/``num_running``, ``outputs``,
+    ``newly_halted``, the ``record``/``strict``/``collect`` flags and
+    the ``delivered``/``dropped`` counters — but ``running`` is a numpy
+    bool array and one :meth:`step_all` is array ops end to end.
+
+    Subclasses implement :meth:`_step`; the base class owns the round
+    scaffolding, drop/strict accounting (:meth:`deliver`) and the lazy
+    trace slabs (:meth:`log_sends` / :meth:`materialise_log`).
+    """
+
+    __slots__ = (
+        "cg",
+        "vg",
+        "running",
+        "num_running",
+        "outputs",
+        "newly_halted",
+        "record",
+        "strict",
+        "collect",
+        "delivered",
+        "dropped",
+        "_initial_running",
+        "_slabs",
+        "_halted_log",
+    )
+
+    def __init__(self, graph: PortNumberedGraph) -> None:
+        cg = graph.compiled()
+        self.cg = cg
+        vg = cg.vector()
+        self.vg = vg
+        # Degree-0 nodes can never receive information: halted up front
+        # with empty output, exactly like the other engines.
+        self.running = vg.degrees > 0
+        self.num_running = int(self.running.sum())
+        self.outputs: list[frozenset[int] | None] = [
+            None if degree > 0 else frozenset() for degree in cg.degrees
+        ]
+        self.newly_halted: list[int] = []
+        self.record = False
+        self.strict = False
+        self.collect = False
+        self.delivered = 0
+        self.dropped = 0
+        self._initial_running = self.num_running
+        #: Per-round lists of (gports, code, a, b, dropped_mask) slabs.
+        self._slabs: list[list[tuple]] = []
+        self._halted_log: list[list[int]] = []
+
+    # -- subclass hook -----------------------------------------------------
+
+    @abc.abstractmethod
+    def _step(self, rnd: int) -> None:
+        """Execute round *rnd*: send (via :meth:`deliver` +
+        :meth:`log_sends`), update array state, halt nodes via
+        :meth:`halt_nodes`."""
+
+    # -- round scaffolding -------------------------------------------------
+
+    def step_all(self, rnd: int) -> None:
+        """One full round; trace bookkeeping wraps the kernel step."""
+        self.newly_halted.clear()
+        if self.record:
+            self._slabs.append([])
+        self._step(rnd)
+        if self.record:
+            self._halted_log.append(list(self.newly_halted))
+
+    def deliver(self, rnd: int, gports):
+        """Account for this round's sends on *gports* (canonical order).
+
+        Returns ``None`` when every send is delivered, else the boolean
+        delivered-mask.  Handles message counting, drop counting, and
+        ``strict_delivery`` (raising on the first dropped send, exactly
+        like the compiled router).  While no node has halted, nothing
+        can drop and the check short-circuits.
+        """
+        n_sent = len(gports)
+        if self.num_running == self._initial_running:
+            if self.collect:
+                self.delivered += n_sent
+            return None
+        vg = self.vg
+        ok = self.running[vg.peer_node[gports]]
+        n_ok = int(ok.sum())
+        if n_ok != n_sent:
+            if self.strict:
+                g = int(gports[~ok][0])
+                target = int(vg.mate[g])
+                nodes = self.cg.nodes
+                raise SimulationError(
+                    f"node {nodes[int(vg.port_node[g])]!r} sent to halted "
+                    f"node {nodes[int(vg.port_node[target])]!r} in round "
+                    f"{rnd} (strict_delivery is enabled)"
+                )
+            self.dropped += n_sent - n_ok
+        if self.collect:
+            self.delivered += n_ok
+        return None if n_ok == n_sent else ok
+
+    def log_sends(self, gports, code, a=None, b=None, delivered=None) -> None:
+        """Append one send slab to the current round (``record`` only).
+
+        *code* is a payload code (scalar or per-send array); *a*/*b* are
+        optional int columns; *delivered* is :meth:`deliver`'s mask (or
+        ``None`` when nothing dropped).
+        """
+        dropped = None if delivered is None else ~delivered
+        self._slabs[-1].append((gports, code, a, b, dropped))
+
+    def halt_nodes(self, ks, outputs) -> None:
+        """Halt the nodes with indices *ks* (ascending) with *outputs*."""
+        out = self.outputs
+        for k, result in zip(ks, outputs):
+            out[k] = result
+        self.running[ks] = False
+        self.num_running -= len(ks)
+        self.newly_halted.extend(int(k) for k in ks)
+
+    # -- lazy trace --------------------------------------------------------
+
+    def materialise_log(self):
+        """Expand the per-round slabs into the flat compiled-engine log.
+
+        Returns ``rounds_log`` in the exact shape
+        :func:`~repro.runtime.trace.trace_from_log` consumes:
+        one ``(messages, halted)`` pair per round with messages as
+        ``(source_gport, target_gport, payload, dropped)`` tuples.
+        """
+        mate = self.vg.mate
+        rounds_log = []
+        for slabs, halted in zip(self._slabs, self._halted_log):
+            messages: list[tuple[int, int, object, bool]] = []
+            for gports, code, a, b, dropped in slabs:
+                targets = mate[gports]
+                scalar_code = not isinstance(code, np.ndarray)
+                for idx in range(len(gports)):
+                    c = code if scalar_code else int(code[idx])
+                    payload = _decode(
+                        c,
+                        None if a is None else a[idx],
+                        None if b is None else b[idx],
+                    )
+                    messages.append(
+                        (
+                            int(gports[idx]),
+                            int(targets[idx]),
+                            payload,
+                            False if dropped is None else bool(dropped[idx]),
+                        )
+                    )
+            rounds_log.append((messages, halted))
+        return rounds_log

@@ -20,8 +20,19 @@ from repro.exceptions import (
 )
 from repro.obs import recording
 from repro.portgraph import from_networkx
-from repro.runtime import ENGINES, NodeProgram, run_anonymous, use_engine
+from repro.runtime import (
+    ENGINES,
+    NodeProgram,
+    run_anonymous,
+    use_engine,
+    vector_available,
+)
 from repro.runtime.outputs import decode_edge_set
+
+
+def _skip_unless_runnable(engine: str) -> None:
+    if engine == "vector" and not vector_available():
+        pytest.skip("numpy not installed")
 
 
 class SendsOnBadPort(NodeProgram):
@@ -132,6 +143,7 @@ class TestDeliveryTelemetry:
     def test_delivered_and_dropped_counted(self, engine):
         # path 0-1-2: round 0 delivers 4 messages everywhere; rounds 1-2
         # the middle node broadcasts 2 messages each to halted leaves.
+        _skip_unless_runnable(engine)
         graph = from_networkx(nx.path_graph(3))
         with recording() as rec:
             with use_engine(engine):
@@ -145,6 +157,7 @@ class TestDeliveryTelemetry:
     @pytest.mark.parametrize("engine", ENGINES)
     def test_counters_match_trace_labels(self, engine):
         """The counters agree with the ground truth in the full trace."""
+        _skip_unless_runnable(engine)
         graph = from_networkx(nx.path_graph(3))
         with recording() as rec:
             with use_engine(engine):
@@ -161,6 +174,7 @@ class TestDeliveryTelemetry:
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_strict_delivery_rejects_the_same_run(self, engine):
+        _skip_unless_runnable(engine)
         graph = from_networkx(nx.path_graph(3))
         with use_engine(engine):
             with pytest.raises(SimulationError, match="halted"):

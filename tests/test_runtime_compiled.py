@@ -28,6 +28,7 @@ from repro.runtime import (
     NodeProgram,
     run_anonymous,
     use_engine,
+    vector_available,
 )
 from repro.runtime.scheduler import _resolve_engine
 
@@ -76,6 +77,17 @@ def build(family: str, params: dict):
     return get_family(family).make(params, seed)
 
 
+def candidate_engines() -> list[str]:
+    """Every engine the differential matrix must hold against the
+    legacy reference.  ``vector`` joins only when numpy is installed —
+    the no-numpy CI job runs the same suite and must stay green
+    (``auto`` is always testable: it degrades to ``compiled``)."""
+    engines = ["compiled", "pernode", "auto"]
+    if vector_available():
+        engines.insert(1, "vector")
+    return engines
+
+
 def traced_run(name: str, graph, engine: str):
     bound = get_algorithm(name).resolve(rng_seed=11)
     assert bound.traced is not None
@@ -117,7 +129,7 @@ def test_differential_full_matrix(family: str, which: int):
     graph = build(family, FAMILY_INSTANCES[family][which])
     for name in simulated_algorithms():
         reference = traced_run(name, graph, "legacy")
-        for engine in ("compiled", "pernode"):
+        for engine in candidate_engines():
             candidate = traced_run(name, graph, engine)
             assert_identical(
                 reference, candidate, f"{name} on {family}#{which} ({engine})"
@@ -165,8 +177,11 @@ class TestEdgeCases:
             ("empty", self._empty()),
         ):
             reference = traced_run(name, graph, "legacy")
-            candidate = traced_run(name, graph, "compiled")
-            assert_identical(reference, candidate, f"{name} on {tag}")
+            for engine in candidate_engines():
+                candidate = traced_run(name, graph, engine)
+                assert_identical(
+                    reference, candidate, f"{name} on {tag} ({engine})"
+                )
 
     def test_empty_graph_zero_rounds(self):
         result = run_anonymous(
@@ -197,7 +212,7 @@ class _ChattyLeafHalter(NodeProgram):
 
 class TestEngineSelection:
     def test_engines_tuple(self):
-        assert ENGINES == ("compiled", "pernode", "legacy")
+        assert ENGINES == ("compiled", "vector", "auto", "pernode", "legacy")
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
@@ -229,6 +244,8 @@ class TestDroppedSends:
 
     @pytest.mark.parametrize("engine", ENGINES)
     def test_dropped_flagged_consistently(self, engine: str):
+        if engine == "vector" and not vector_available():
+            pytest.skip("numpy not installed")
         result = run_anonymous(
             self._star(), _ChattyLeafHalter,
             record_trace=True, engine=engine,
@@ -256,6 +273,8 @@ class TestDroppedSends:
     def test_strict_delivery_raises_on_every_engine(self, engine: str):
         from repro.exceptions import SimulationError
 
+        if engine == "vector" and not vector_available():
+            pytest.skip("numpy not installed")
         with pytest.raises(SimulationError, match="sent to halted node"):
             run_anonymous(
                 self._star(), _ChattyLeafHalter,
@@ -273,6 +292,8 @@ class TestDroppedSends:
         from repro.exceptions import SimulationError
         from repro.runtime import run_identified
 
+        if engine == "vector" and not vector_available():
+            pytest.skip("numpy not installed")
         graph = build("regular", {"d": 3, "n": 8})
         with pytest.raises(SimulationError, match="sent to halted node"):
             run_identified(
@@ -298,6 +319,18 @@ class TestCacheStability:
         for entry in self.fixture_entries():
             spec = JobSpec.from_json_dict(entry["spec"])
             assert execute_unit(spec).to_json_dict() == entry["record"]
+
+    def test_records_reproduced_with_vector_engine(self):
+        """Cache keys and record bytes are engine-independent: the same
+        units recomputed under the vector engine reproduce the
+        pre-refactor records bit for bit."""
+        if not vector_available():
+            pytest.skip("numpy not installed")
+        with use_engine("vector"):
+            for entry in self.fixture_entries():
+                spec = JobSpec.from_json_dict(entry["spec"])
+                assert cache_key(spec) == entry["key"]
+                assert execute_unit(spec).to_json_dict() == entry["record"]
 
     def test_pre_refactor_cache_entry_hits(self, tmp_path):
         entries = self.fixture_entries()
