@@ -176,11 +176,51 @@ def test_sandwich_under_5s_at_16384():
     assert result.lower <= result.upper
 
 
+def ledger_entries(payload: dict):
+    """The bench rows as perf-ledger entries: sandwich vs blossom.
+
+    Per-unit times become pseudo-phases so ``repro-eds perf compare``
+    flags regressions unit by unit within each method's trajectory.
+    """
+    import platform
+
+    from repro.obs.perf import LedgerEntry, git_sha
+
+    sha = git_sha()
+    stamp = time.time()
+    entries = []
+    for engine, key in (("sandwich", "sandwich_s"), ("blossom", "blossom_s")):
+        phases = {
+            f"regular d={row['d']} n={row['n']}": row[key]
+            for row in payload["units"]
+            if row.get(key) is not None
+        }
+        if not phases:
+            continue
+        entries.append(LedgerEntry(
+            scenario="bench:bounds",
+            engine=engine,
+            phases=phases,
+            unit_wall_s=sum(phases.values()),
+            units=len(phases),
+            reps=payload["reps_best_of"],
+            git_sha=sha,
+            recorded_unix=stamp,
+            python=platform.python_version(),
+        ))
+    return entries
+
+
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out", default="BENCH_bounds.json",
         help="where to write the machine-readable trajectory",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="also append one perf-ledger entry per method "
+        "(see `repro-eds perf`)",
     )
     args = parser.parse_args()
     payload = measure_units()
@@ -189,3 +229,10 @@ if __name__ == "__main__":
         handle.write("\n")
     print(format_table(payload))
     print(f"wrote {args.out}")
+    if args.ledger:
+        from repro.obs.perf import append_entry
+
+        entries = ledger_entries(payload)
+        for entry in entries:
+            append_entry(args.ledger, entry)
+        print(f"appended {len(entries)} ledger entr(ies) to {args.ledger}")

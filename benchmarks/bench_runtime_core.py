@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import platform
 import time
 
 import pytest
@@ -353,11 +354,56 @@ def test_telemetry_overhead_under_5_percent():
     assert median_ratio <= 1.05
 
 
+def ledger_entries(payload: dict):
+    """The bench rows as perf-ledger entries, one per engine.
+
+    Each unit's cold time becomes a pseudo-phase named after the unit,
+    so ``repro-eds perf compare`` flags per-unit regressions within one
+    engine's trajectory (engines never compare against each other).
+    """
+    from repro.obs.perf import LedgerEntry, git_sha
+
+    sha = git_sha()
+    stamp = time.time()
+    column = {
+        "legacy": "legacy_s",
+        "compiled": "compiled_cold_s",
+        "vector": "vector_cold_s",
+    }
+    entries = []
+    for engine, key in column.items():
+        phases = {
+            f"{row['algorithm']} d={row['d']} n={row['n']}": row[key]
+            for row in payload["units"]
+            if row.get(key) is not None
+        }
+        if not phases:
+            continue
+        entries.append(LedgerEntry(
+            scenario="bench:runtime-core",
+            engine=engine,
+            phases=phases,
+            unit_wall_s=sum(phases.values()),
+            units=len(phases),
+            reps=payload["reps_best_of"],
+            numpy=payload["vector_available"],
+            git_sha=sha,
+            recorded_unix=stamp,
+            python=platform.python_version(),
+        ))
+    return entries
+
+
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out", default="BENCH_runtime.json",
         help="where to write the machine-readable trajectory",
+    )
+    parser.add_argument(
+        "--ledger", default=None, metavar="PATH",
+        help="also append one perf-ledger entry per engine "
+        "(see `repro-eds perf`)",
     )
     args = parser.parse_args()
     payload = measure_units()
@@ -366,3 +412,10 @@ if __name__ == "__main__":
         handle.write("\n")
     print(format_table(payload))
     print(f"wrote {args.out}")
+    if args.ledger:
+        from repro.obs.perf import append_entry
+
+        entries = ledger_entries(payload)
+        for entry in entries:
+            append_entry(args.ledger, entry)
+        print(f"appended {len(entries)} ledger entr(ies) to {args.ledger}")

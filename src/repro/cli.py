@@ -80,7 +80,27 @@ from repro.experiments.table1 import format_table1, reproduce_table1
 from repro.generators.bounded import grid, random_bounded_degree
 from repro.generators.regular import cycle, random_regular
 from repro.exceptions import SimulationError
-from repro.obs import configure_logging, render_report, telemetry, write_trace
+from repro.obs import (
+    TRACE_FORMATS,
+    configure_logging,
+    render_report,
+    report_json_dict,
+    telemetry,
+    write_perfetto,
+    write_trace,
+)
+from repro.obs.perf import (
+    DEFAULT_BASELINE_RUNS,
+    DEFAULT_LEDGER_PATH,
+    DEFAULT_MIN_PHASE_S,
+    DEFAULT_THRESHOLD,
+    append_entry,
+    compare_ledger,
+    entry_from_sessions,
+    format_entry,
+    format_ledger,
+    read_ledger,
+)
 from repro.registry import (
     algorithm_names,
     get_measure,
@@ -154,9 +174,21 @@ def _grid_measures() -> tuple[str, ...]:
 def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
-        help="write a JSONL telemetry trace sidecar to PATH (per-unit "
+        help="write a telemetry trace sidecar to PATH (per-unit "
         "phase spans, runtime counters, cache latencies; never written "
         "into the cache directory)",
+    )
+    parser.add_argument(
+        "--trace-format", choices=TRACE_FORMATS, default="jsonl",
+        help="trace sidecar format: 'jsonl' (one JSON object per line, "
+        "jq-friendly) or 'perfetto' (Chrome trace-event JSON — open it "
+        "at ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--mem", action="store_true",
+        help="also capture per-phase memory (tracemalloc peaks + RSS) "
+        "while telemetry is active; opt-in because allocation tracking "
+        "costs real time",
     )
 
 
@@ -442,7 +474,96 @@ def build_parser() -> argparse.ArgumentParser:
         "inline backend: the engine override is per-process state and "
         "does not cross into pool workers)",
     )
+    profile.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="output format: the human-readable tables (default) or "
+        "one machine-readable JSON document on stdout",
+    )
     _add_trace_flag(profile)
+
+    perf = sub.add_parser(
+        "perf",
+        help="the perf ledger: 'record' appends one benchmark run "
+        "(per-phase medians across reps, peak memory, git SHA) to an "
+        "append-only JSONL history, 'report' prints the trajectory, "
+        "'compare' checks the newest run of each scenario/engine group "
+        "against the baseline median and exits nonzero on regression",
+    )
+    perf.add_argument("action", choices=["record", "report", "compare"])
+    perf.add_argument(
+        "--ledger", default=DEFAULT_LEDGER_PATH, metavar="PATH",
+        help=f"ledger file (default: {DEFAULT_LEDGER_PATH})",
+    )
+    perf.add_argument(
+        "--scenario", choices=scenario_names(), default=None,
+        help="scenario to record, or to filter report/compare by "
+        "(record default: 'default')",
+    )
+    perf.add_argument(
+        "--limit", type=int, default=4,
+        help="record only the first N work units of the expanded grid "
+        "(default: 4; 0 means all)",
+    )
+    perf.add_argument(
+        "--reps", type=int, default=3,
+        help="repetitions per record; the ledger stores per-phase "
+        "medians across reps (default: 3)",
+    )
+    perf.add_argument(
+        "--degrees", type=_int_list, default=None,
+        help="override the scenario's degree axis, e.g. 2,3,4",
+    )
+    perf.add_argument(
+        "--sizes", type=_int_list, default=None,
+        help="override the scenario's size axis, e.g. 16,32,64",
+    )
+    perf.add_argument(
+        "--seeds", type=int, default=None,
+        help="override the number of seeds per grid cell",
+    )
+    perf.add_argument(
+        "--algorithms", type=_str_list, default=None,
+        help="override the algorithm list, e.g. port_one,bounded_degree",
+    )
+    perf.add_argument(
+        "--measure", choices=_grid_measures(), default=None,
+        help="override the scenario's measure",
+    )
+    perf.add_argument(
+        "--optimum", choices=OPTIMUM_MODES, default=None,
+        help="override the scenario's optimum mode",
+    )
+    perf.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="simulation engine to record under (also the compare "
+        "filter); entries only ever compare within one scenario/engine "
+        "group",
+    )
+    perf.add_argument(
+        "--mem", action="store_true",
+        help="record peak memory (tracemalloc + RSS) into the entry",
+    )
+    perf.add_argument(
+        "--note", default="",
+        help="free-form note stored on the recorded entry",
+    )
+    perf.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="compare: flag phases more than this fraction over "
+        f"baseline (default: {DEFAULT_THRESHOLD:g} = "
+        f"{DEFAULT_THRESHOLD:.0%} slower)".replace("%", "%%"),
+    )
+    perf.add_argument(
+        "--min-phase-ms", type=float, default=DEFAULT_MIN_PHASE_S * 1000,
+        help="compare: ignore phases where both sides are under this "
+        f"many milliseconds (noise floor; default: "
+        f"{DEFAULT_MIN_PHASE_S * 1000:g})",
+    )
+    perf.add_argument(
+        "--baseline-runs", type=int, default=DEFAULT_BASELINE_RUNS,
+        help="compare: baseline is the median of up to N prior runs "
+        f"(default: {DEFAULT_BASELINE_RUNS})",
+    )
 
     return parser
 
@@ -502,6 +623,23 @@ def _run_demo(args: argparse.Namespace) -> str:
     return f"{table}\n{_engines_line()}"
 
 
+def _write_trace_file(
+    path: str, session, *, fmt: str, meta: dict
+) -> None:
+    """Write the trace sidecar in the requested ``--trace-format``."""
+    if fmt == "perfetto":
+        events = write_perfetto(path, session, meta=meta)
+        logger.info(
+            "wrote perfetto trace (%d event(s)) to %s — open it at "
+            "https://ui.perfetto.dev", events, path,
+        )
+    else:
+        lines = write_trace(path, session, meta=meta)
+        logger.info(
+            "wrote telemetry trace (%d line(s)) to %s", lines, path
+        )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(verbose=args.verbose, quiet=args.log_quiet)
@@ -509,17 +647,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     trace_path = getattr(args, "trace", None)
     if trace_path and args.command != "profile":
         # Run the whole command inside a telemetry session and write the
-        # JSONL sidecar after.  ``profile`` owns its session instead, so
+        # trace sidecar after.  ``profile`` owns its session instead, so
         # it can render the report before writing the trace.
-        with telemetry() as session:
+        with telemetry(capture_memory=getattr(args, "mem", False)) as session:
             code = _dispatch(args)
-        lines = write_trace(
-            trace_path, session, meta={"command": args.command}
-        )
-        logger.info(
-            "wrote telemetry trace (%d line(s)) to %s", lines, trace_path
+        _write_trace_file(
+            trace_path, session,
+            fmt=args.trace_format, meta={"command": args.command},
         )
         return code
+    if (
+        getattr(args, "mem", False)
+        and args.command not in ("profile", "perf")
+    ):
+        # Without a session there is nothing for the captured memory to
+        # land in; say so instead of silently ignoring the flag.
+        print(
+            "note: --mem has no effect without --trace "
+            "(memory telemetry needs an active telemetry session)",
+            file=sys.stderr,
+        )
     return _dispatch(args)
 
 
@@ -583,6 +730,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             return 2
     elif args.command == "profile":
         return _run_profile(args)
+    elif args.command == "perf":
+        return _run_perf(args)
     return 0
 
 
@@ -696,8 +845,14 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_sweep(args: argparse.Namespace) -> int:
-    """Expand a scenario grid and run it through the experiment engine."""
+def _resolved_scenario(args: argparse.Namespace):
+    """The named scenario with the shared axis-override flags applied.
+
+    ``sweep``, ``profile`` and ``perf record`` expose the same override
+    surface (degrees/sizes/seeds/algorithms/measure/optimum); this is
+    the one place it is interpreted.  Raises :class:`ValueError` with a
+    user-facing message on bad overrides.
+    """
     scenario = get_scenario(args.scenario)
     overrides: dict[str, object] = {}
     if args.degrees is not None:
@@ -713,16 +868,20 @@ def _run_sweep(args: argparse.Namespace) -> int:
     if args.algorithms is not None:
         unknown = set(args.algorithms) - set(algorithm_names())
         if unknown:
-            print(f"ERROR: unknown algorithms {sorted(unknown)}",
-                  file=sys.stderr)
-            return 2
+            raise ValueError(f"unknown algorithms {sorted(unknown)}")
         overrides["algorithms"] = args.algorithms
     if overrides:
-        try:
-            scenario = scenario.override(**overrides)
-        except ValueError as exc:
-            print(f"ERROR: {exc}", file=sys.stderr)
-            return 2
+        return scenario.override(**overrides)
+    return scenario
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """Expand a scenario grid and run it through the experiment engine."""
+    try:
+        scenario = _resolved_scenario(args)
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
 
     units = scenario.expand()
     if not units:
@@ -767,31 +926,11 @@ def _run_profile(args: argparse.Namespace) -> int:
     defaults to off here; ``--cache`` opts back in (the phase table then
     mostly shows cache read latencies, which is occasionally the point).
     """
-    scenario = get_scenario(args.scenario)
-    overrides: dict[str, object] = {}
-    if args.degrees is not None:
-        overrides["degrees"] = args.degrees
-    if args.sizes is not None:
-        overrides["sizes"] = args.sizes
-    if args.seeds is not None:
-        overrides["seeds"] = args.seeds
-    if args.measure is not None:
-        overrides["measure"] = args.measure
-    if args.optimum is not None:
-        overrides["optimum"] = args.optimum
-    if args.algorithms is not None:
-        unknown = set(args.algorithms) - set(algorithm_names())
-        if unknown:
-            print(f"ERROR: unknown algorithms {sorted(unknown)}",
-                  file=sys.stderr)
-            return 2
-        overrides["algorithms"] = args.algorithms
-    if overrides:
-        try:
-            scenario = scenario.override(**overrides)
-        except ValueError as exc:
-            print(f"ERROR: {exc}", file=sys.stderr)
-            return 2
+    try:
+        scenario = _resolved_scenario(args)
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
 
     units = scenario.expand()
     if not units:
@@ -813,7 +952,8 @@ def _run_profile(args: argparse.Namespace) -> int:
         backend = "inline"
         workers = 1
 
-    with telemetry() as session, use_engine(args.engine):
+    with telemetry(capture_memory=args.mem) as session, \
+            use_engine(args.engine):
         api.run_sweep(
             units,
             workers=workers,
@@ -826,20 +966,114 @@ def _run_profile(args: argparse.Namespace) -> int:
     engine_note = (
         "" if args.engine is None else f", engine={args.engine}"
     )
-    print(render_report(
-        session,
-        top=args.top,
-        title=f"profile: {scenario.name} ({len(units)} unit(s), "
-        f"backend={backend}{engine_note})",
-    ))
-    print(_engines_line())
+    title = (
+        f"profile: {scenario.name} ({len(units)} unit(s), "
+        f"backend={backend}{engine_note})"
+    )
+    if args.format == "json":
+        import json as json_module
+
+        print(json_module.dumps(
+            report_json_dict(session, top=args.top, title=title)
+        ))
+    else:
+        print(render_report(session, top=args.top, title=title))
+        print(_engines_line())
     if args.trace:
-        lines = write_trace(
-            args.trace, session, meta={"command": "profile"}
+        _write_trace_file(
+            args.trace, session,
+            fmt=args.trace_format, meta={"command": "profile"},
         )
+    return 0
+
+
+def _run_perf(args: argparse.Namespace) -> int:
+    """The perf ledger: record a benchmark run, report, or compare."""
+    if args.action == "record":
+        return _run_perf_record(args)
+    entries = read_ledger(args.ledger)
+    if args.action == "report":
+        if args.scenario is not None:
+            entries = [e for e in entries if e.scenario == args.scenario]
+        if args.engine is not None:
+            entries = [e for e in entries if e.engine == args.engine]
+        print(format_ledger(entries))
+        return 0
+    # compare
+    if not entries:
+        print(f"ERROR: no perf ledger at {args.ledger} "
+              "(run `repro-eds perf record` first)", file=sys.stderr)
+        return 2
+    reports = compare_ledger(
+        entries,
+        scenario=args.scenario,
+        engine=args.engine,
+        threshold=args.threshold,
+        min_phase_s=args.min_phase_ms / 1000.0,
+        baseline_runs=max(1, args.baseline_runs),
+    )
+    if not reports:
+        print(
+            "perf compare: no scenario/engine group has two or more "
+            "recorded runs yet — nothing to compare"
+        )
+        return 0
+    for report in reports:
+        print(report.format(threshold=args.threshold))
+        print()
+    regressed = [r for r in reports if not r.ok]
+    if regressed:
+        groups = ", ".join(
+            f"{r.scenario}/{r.engine}" for r in regressed
+        )
+        print(f"VERDICT: perf regression in {groups}", file=sys.stderr)
+        return 1
+    print(f"VERDICT: no perf regressions across {len(reports)} group(s)")
+    return 0
+
+
+def _run_perf_record(args: argparse.Namespace) -> int:
+    """Run a scenario slice ``--reps`` times and append a ledger entry.
+
+    Records always run on the inline backend with the cache off: the
+    point is to measure the computation, and serial self-times are the
+    comparable quantity.  Medians across reps go into the entry.
+    """
+    if args.scenario is None:
+        args.scenario = "default"
+    try:
+        scenario = _resolved_scenario(args)
+    except ValueError as exc:
+        print(f"ERROR: {exc}", file=sys.stderr)
+        return 2
+    units = scenario.expand()
+    if not units:
+        print("ERROR: the grid expanded to zero feasible work units",
+              file=sys.stderr)
+        return 2
+    if args.limit > 0:
+        units = units[: args.limit]
+
+    sessions = []
+    for rep in range(max(1, args.reps)):
+        with telemetry(capture_memory=args.mem) as session, \
+                use_engine(args.engine):
+            api.run_sweep(units, cache=None, backend="inline")
+        sessions.append(session)
         logger.info(
-            "wrote telemetry trace (%d line(s)) to %s", lines, args.trace
+            "perf record rep %d/%d: %d unit(s) in %.3fs",
+            rep + 1, max(1, args.reps), len(units),
+            session.unit_wall_total_s(),
         )
+    entry = entry_from_sessions(
+        sessions,
+        scenario=scenario.name,
+        engine=args.engine or "default",
+        note=args.note,
+    )
+    append_entry(args.ledger, entry)
+    print(format_entry(entry))
+    print(f"appended to {args.ledger}")
     return 0
 
 

@@ -63,18 +63,21 @@ def _plugin_modules(units: Iterable["JobSpec"]) -> tuple[str, ...]:
 
 
 def _worker(
-    payload: tuple[int, dict[str, Any], tuple[str, ...], bool]
+    payload: tuple[int, dict[str, Any], tuple[str, ...], bool, bool]
 ) -> tuple[int, dict[str, Any], dict[str, Any] | None]:
     from repro.engine.executor import execute_unit_instrumented
     from repro.engine.spec import JobSpec
+    from repro.obs.memory import set_memory_collection
     from repro.obs.spans import set_collection
 
-    index, spec_dict, plugin_modules, collect_telemetry = payload
+    index, spec_dict, plugin_modules, collect_telemetry, collect_mem = payload
     # The parent's telemetry switch doesn't exist in a ``spawn`` worker
     # (fresh interpreter) and may be stale in a ``fork`` one, so every
-    # payload carries it.  Telemetry rides back as a plain dict next to
-    # the record dict — never inside it.
+    # payload carries it (the memory switch rides along the same way).
+    # Telemetry rides back as a plain dict next to the record dict —
+    # never inside it.
     set_collection(collect_telemetry)
+    set_memory_collection(collect_mem)
     for module in plugin_modules:
         try:
             importlib.import_module(module)
@@ -110,6 +113,7 @@ class ProcessBackend(ExecutionBackend):
     ) -> Iterator[tuple[int, "ResultRecord", "UnitTelemetry | None"]]:
         from repro.engine.executor import execute_unit_instrumented
         from repro.engine.records import ResultRecord
+        from repro.obs.memory import memory_collection_enabled
         from repro.obs.spans import UnitTelemetry, collection_enabled
 
         pending = list(pending)
@@ -121,8 +125,9 @@ class ProcessBackend(ExecutionBackend):
             return
         plugins = _plugin_modules(spec for _, spec in pending)
         collect = collection_enabled()
+        collect_mem = memory_collection_enabled()
         payloads = [
-            (index, spec.to_json_dict(), plugins, collect)
+            (index, spec.to_json_dict(), plugins, collect, collect_mem)
             for index, spec in pending
         ]
         with multiprocessing.Pool(min(self.workers, len(pending))) as pool:

@@ -25,6 +25,7 @@ from repro.engine.backends.base import ExecutionBackend, resolve_backend
 from repro.engine.cache import GcReport, ResultCache, cache_key
 from repro.engine.records import ResultRecord, ResultStore
 from repro.engine.spec import JobSpec
+from repro.obs.memory import set_memory_collection
 from repro.obs.session import TelemetrySession, current_session
 from repro.obs.spans import (
     UnitTelemetry,
@@ -237,6 +238,7 @@ def run_units(
         # session itself can't be their signal (the process backend
         # forwards the flag to pool workers in the unit payload).
         set_collection(True)
+        set_memory_collection(session.capture_memory)
     try:
         for item in resolved.run([(i, units[i]) for i in missing]):
             # Backends yield (index, record, telemetry); third-party
@@ -254,6 +256,7 @@ def run_units(
     finally:
         if session is not None:
             set_collection(False)
+            set_memory_collection(False)
 
     gc_report = None
     if cache is not None and cache_max_bytes is not None:

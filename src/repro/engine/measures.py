@@ -89,8 +89,15 @@ def default_execute(measure: Measure, spec: JobSpec, key: str) -> ResultRecord:
     and ``measure:<name>`` — with the optimum computation nested inside
     the measure span as its own ``optimum`` child.
     """
+    # ``graph_build`` keeps only coordination self-time: the generator
+    # runs under the ``graph_build:generate`` child, and the lowering
+    # steps triggered later (``graph_build:compile`` in
+    # ``PortNumberedGraph.compiled``, ``graph_build:vector_view`` in
+    # ``CompiledGraph.vector``) record themselves wherever they fire, so
+    # the phase table pins exactly which build stage dominates.
     with span("graph_build", family=spec.graph.family):
-        graph = spec.graph.build()
+        with span("graph_build:generate"):
+            graph = spec.graph.build()
     if not isinstance(graph, PortNumberedGraph):
         raise AlgorithmContractError(
             f"measure {measure.name!r} needs a plain graph family, got "

@@ -14,8 +14,31 @@ the subsystem on or off.
 """
 
 from repro.obs.logs import ROOT_LOGGER_NAME, configure_logging
+from repro.obs.memory import (
+    MemoryMeter,
+    memory_collection_enabled,
+    rss_peak_bytes,
+    set_memory_collection,
+)
 from repro.obs.metrics import MetricsRegistry, percentile, summarize
-from repro.obs.report import dominant_phase, render_report
+from repro.obs.perf import (
+    DEFAULT_LEDGER_PATH,
+    CompareReport,
+    LedgerEntry,
+    append_entry,
+    compare_entries,
+    compare_ledger,
+    entry_from_sessions,
+    format_ledger,
+    read_ledger,
+)
+from repro.obs.perfetto import (
+    PERFETTO_VERSION,
+    TRACE_FORMATS,
+    trace_events,
+    write_perfetto,
+)
+from repro.obs.report import dominant_phase, render_report, report_json_dict
 from repro.obs.session import TelemetrySession, current_session, telemetry
 from repro.obs.spans import (
     Span,
@@ -31,25 +54,43 @@ from repro.obs.spans import (
 from repro.obs.trace import TRACE_VERSION, write_trace
 
 __all__ = [
+    "DEFAULT_LEDGER_PATH",
+    "PERFETTO_VERSION",
     "ROOT_LOGGER_NAME",
+    "TRACE_FORMATS",
     "TRACE_VERSION",
+    "CompareReport",
+    "LedgerEntry",
+    "MemoryMeter",
     "MetricsRegistry",
     "Span",
     "SpanRecorder",
     "TelemetrySession",
     "UnitTelemetry",
+    "append_entry",
     "collection_enabled",
+    "compare_entries",
+    "compare_ledger",
     "configure_logging",
     "current_recorder",
     "current_session",
     "dominant_phase",
+    "entry_from_sessions",
+    "format_ledger",
+    "memory_collection_enabled",
     "percentile",
+    "read_ledger",
     "recording",
     "render_report",
+    "report_json_dict",
+    "rss_peak_bytes",
     "set_collection",
+    "set_memory_collection",
     "span",
     "span_self_times",
     "summarize",
     "telemetry",
+    "trace_events",
+    "write_perfetto",
     "write_trace",
 ]

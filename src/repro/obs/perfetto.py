@@ -1,0 +1,204 @@
+"""Chrome trace-event export: open telemetry sessions in Perfetto.
+
+:func:`write_perfetto` converts a :class:`~repro.obs.session.
+TelemetrySession` into the Chrome trace-event JSON format (the *JSON
+object format*: ``{"traceEvents": [...], ...}``), which
+``ui.perfetto.dev`` and ``chrome://tracing`` load directly.  Like the
+JSONL trace it is a sidecar — never written into the cache directory.
+
+Mapping:
+
+* one **process track per worker** (``pid:thread`` from
+  :func:`~repro.obs.spans.worker_id`), named via ``process_name`` /
+  ``thread_name`` metadata events;
+* each unit becomes an enclosing complete event (``ph: "X"``, category
+  ``unit``) with its spans nested inside (category ``phase``), carrying
+  span attrs — and memory fields under ``--mem`` — in ``args``;
+* **counter tracks** (``ph: "C"``) per worker for rounds, messages
+  (delivered/dropped), and — when memory was captured — traced peak
+  bytes, sampled once per unit.
+
+Per-unit spans only record offsets from *unit* start (wall-clock
+anchors would break byte-reproducibility guarantees elsewhere), so
+units are laid out **sequentially per worker track**, each starting
+where the previous one on that worker ended.  Within a worker the
+layout is faithful to per-unit timing; gaps between units (cache reads,
+dispatch) are not represented.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.obs.session import TelemetrySession
+from repro.obs.spans import UnitTelemetry
+
+__all__ = [
+    "PERFETTO_VERSION",
+    "TRACE_FORMATS",
+    "trace_events",
+    "write_perfetto",
+]
+
+PERFETTO_VERSION = 1
+
+#: Trace formats the CLI can write (``--trace-format``); ``jsonl`` is
+#: :func:`repro.obs.trace.write_trace`, ``perfetto`` is this module.
+TRACE_FORMATS = ("jsonl", "perfetto")
+
+
+def _worker_ids(session: TelemetrySession) -> dict[str, tuple[int, int]]:
+    """Stable ``worker string -> (pid, tid)`` assignment.
+
+    The pid is parsed from the worker id; thread names within one
+    process get sequential tids (Perfetto wants small integers, not
+    thread names).
+    """
+    ids: dict[str, tuple[int, int]] = {}
+    next_tid: dict[int, int] = {}
+    for unit in session.units:
+        if unit.worker in ids:
+            continue
+        pid_text = unit.worker.split(":", 1)[0]
+        try:
+            pid = int(pid_text)
+        except ValueError:
+            pid = 1 + len({p for p, _ in ids.values()})
+        tid = next_tid.get(pid, 1)
+        next_tid[pid] = tid + 1
+        ids[unit.worker] = (pid, tid)
+    return ids
+
+
+def _us(seconds: float) -> int:
+    return int(round(seconds * 1_000_000))
+
+
+def _span_args(span: Any) -> dict[str, Any]:
+    args = dict(span.attrs)
+    if span.mem_peak_b is not None:
+        args["mem_alloc_b"] = span.mem_alloc_b
+        args["mem_peak_b"] = span.mem_peak_b
+        if span.mem_rss_b is not None:
+            args["mem_rss_b"] = span.mem_rss_b
+    return args
+
+
+def _unit_events(
+    unit: UnitTelemetry, *, pid: int, tid: int, start_us: int
+) -> list[dict[str, Any]]:
+    events: list[dict[str, Any]] = [{
+        "name": f"{unit.algorithm} @ {unit.label}",
+        "cat": "unit",
+        "ph": "X",
+        "ts": start_us,
+        "dur": max(1, _us(unit.wall_s)),
+        "pid": pid,
+        "tid": tid,
+        "args": {
+            "key": unit.key,
+            "measure": unit.measure,
+            **(
+                {"mem_peak_b": unit.mem_peak_b}
+                if unit.mem_peak_b is not None else {}
+            ),
+        },
+    }]
+    for span_ in unit.spans:
+        events.append({
+            "name": span_.name,
+            "cat": "phase",
+            "ph": "X",
+            "ts": start_us + _us(span_.start_s),
+            "dur": max(1, _us(span_.duration_s)),
+            "pid": pid,
+            "tid": tid,
+            "args": _span_args(span_),
+        })
+    counters = unit.counters
+    rounds = counters.get("runtime.rounds")
+    if rounds is not None:
+        events.append({
+            "name": "rounds", "cat": "counter", "ph": "C",
+            "ts": start_us, "pid": pid,
+            "args": {"rounds": rounds},
+        })
+    delivered = counters.get("runtime.messages.delivered")
+    if delivered is not None:
+        events.append({
+            "name": "messages", "cat": "counter", "ph": "C",
+            "ts": start_us, "pid": pid,
+            "args": {
+                "delivered": delivered,
+                "dropped": counters.get("runtime.messages.dropped", 0),
+            },
+        })
+    if unit.mem_peak_b is not None:
+        events.append({
+            "name": "bytes", "cat": "counter", "ph": "C",
+            "ts": start_us, "pid": pid,
+            "args": {
+                "traced_peak": unit.mem_peak_b,
+                **(
+                    {"rss_peak": unit.rss_peak_b}
+                    if unit.rss_peak_b is not None else {}
+                ),
+            },
+        })
+    return events
+
+
+def trace_events(session: TelemetrySession) -> list[dict[str, Any]]:
+    """The session as a list of Chrome trace-event dicts."""
+    worker_ids = _worker_ids(session)
+    events: list[dict[str, Any]] = []
+    for worker, (pid, tid) in sorted(worker_ids.items()):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid,
+            "args": {"name": f"worker {worker.split(':', 1)[0]}"},
+        })
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": worker.split(":", 1)[-1]},
+        })
+    cursor_us: dict[str, int] = {}
+    for unit in session.units:
+        pid, tid = worker_ids[unit.worker]
+        start_us = cursor_us.get(unit.worker, 0)
+        events.extend(
+            _unit_events(unit, pid=pid, tid=tid, start_us=start_us)
+        )
+        cursor_us[unit.worker] = start_us + max(1, _us(unit.wall_s))
+    return events
+
+
+def write_perfetto(
+    path: str | Path,
+    session: TelemetrySession,
+    *,
+    meta: Mapping[str, Any] | None = None,
+) -> int:
+    """Write *session* as a Chrome/Perfetto trace; returns event count.
+
+    The output is the JSON *object* form so ``otherData`` can carry the
+    same metadata the JSONL trace's meta line does.
+    """
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    events = trace_events(session)
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs.perfetto",
+            "version": str(PERFETTO_VERSION),
+            **{k: str(v) for k, v in dict(meta or {}).items()},
+        },
+    }
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return len(events)

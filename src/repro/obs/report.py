@@ -11,10 +11,12 @@ the optimum inside its enclosing measure.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.obs.session import TelemetrySession
 from repro.obs.spans import UnitTelemetry
 
-__all__ = ["dominant_phase", "render_report"]
+__all__ = ["dominant_phase", "render_report", "report_json_dict"]
 
 
 def _format_table(headers, rows, *, title=None):
@@ -35,6 +37,20 @@ def _fmt_s(seconds: float) -> str:
     return f"{seconds * 1000:.2f}ms"
 
 
+def _fmt_bytes(count: float) -> str:
+    # Local rather than ``repro.engine.cache.human_bytes``: importing the
+    # engine here would re-open the cycle the lazy format_table avoids.
+    scaled = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if scaled < 1024 or unit == "GiB":
+            return (
+                f"{scaled:.0f}{unit}" if unit == "B"
+                else f"{scaled:.1f}{unit}"
+            )
+        scaled /= 1024
+    raise AssertionError("unreachable")
+
+
 def dominant_phase(unit: UnitTelemetry) -> str:
     """The phase this unit spent most of its instrumented time in."""
     phases = unit.phase_self_times()
@@ -45,6 +61,18 @@ def dominant_phase(unit: UnitTelemetry) -> str:
 
 def _phase_table(session: TelemetrySession) -> str:
     wall_total = session.unit_wall_total_s()
+    with_memory = session.has_memory()
+
+    def mem_cells(name: str) -> tuple[str, ...]:
+        if not with_memory:
+            return ()
+        m = session.metrics.summary(f"phase_mem.{name}")
+        if not m["count"]:
+            return ("-", "-", "-")
+        return (
+            _fmt_bytes(m["p50"]), _fmt_bytes(m["p95"]), _fmt_bytes(m["max"])
+        )
+
     rows = []
     for name in session.phase_names():
         s = session.metrics.summary(f"phase.{name}")
@@ -57,22 +85,35 @@ def _phase_table(session: TelemetrySession) -> str:
             _fmt_s(s["max"]),
             _fmt_s(s["total"]),
             f"{share * 100:.1f}%",
+            *mem_cells(name),
         ))
     unaccounted = session.unaccounted_s()
     share = unaccounted / wall_total if wall_total else 0.0
+    blanks = ("", "", "") if with_memory else ()
     rows.append((
         "(unaccounted)", "", "", "", "",
-        _fmt_s(max(0.0, unaccounted)), f"{share * 100:.1f}%",
+        _fmt_s(max(0.0, unaccounted)), f"{share * 100:.1f}%", *blanks,
     ))
+    unit_mem = (
+        session.metrics.summary("unit.mem_peak_b") if with_memory else None
+    )
     rows.append((
         "total (unit wall)", len(session.units), "", "", "",
         _fmt_s(wall_total), "100.0%" if wall_total else "-",
+        *(
+            (
+                _fmt_bytes(unit_mem["p50"]),
+                _fmt_bytes(unit_mem["p95"]),
+                _fmt_bytes(unit_mem["max"]),
+            )
+            if unit_mem is not None and unit_mem["count"] else blanks
+        ),
     ))
-    return _format_table(
-        ["phase", "count", "p50", "p95", "max", "total", "share"],
-        rows,
-        title="per-phase self time",
-    )
+    headers = ["phase", "count", "p50", "p95", "max", "total", "share"]
+    if with_memory:
+        # Peak traced bytes live while the phase was open, per unit.
+        headers += ["mem p50", "mem p95", "mem max"]
+    return _format_table(headers, rows, title="per-phase self time")
 
 
 def _top_units_table(session: TelemetrySession, top: int) -> str:
@@ -128,6 +169,28 @@ def _counter_lines(session: TelemetrySession) -> list[str]:
             f"{_fmt_s(verify['total'])} total "
             f"(p50 {_fmt_s(verify['p50'])} per unit)"
         )
+    if session.has_memory():
+        unit_mem = m.summary("unit.mem_peak_b")
+        rss = m.summary("unit.rss_peak_b")
+        rss_note = (
+            f"; process peak RSS {_fmt_bytes(rss['max'])}"
+            if rss["count"] else ""
+        )
+        lines.append(
+            f"memory: traced peak per unit p50 {_fmt_bytes(unit_mem['p50'])}"
+            f" / p95 {_fmt_bytes(unit_mem['p95'])}"
+            f" / max {_fmt_bytes(unit_mem['max'])}{rss_note}"
+        )
+        engines = m.histogram_names(prefix="engine_mem.")
+        if engines:
+            per_engine = ", ".join(
+                f"{name[len('engine_mem.'):]} "
+                f"p50 {_fmt_bytes(m.summary(name)['p50'])} "
+                f"max {_fmt_bytes(m.summary(name)['max'])} "
+                f"({m.summary(name)['count']:g} unit(s))"
+                for name in engines
+            )
+            lines.append(f"memory by engine: {per_engine}")
     hits, misses = m.counter("cache.hit"), m.counter("cache.miss")
     if hits or misses:
         reads = m.summary("cache.read_s")
@@ -151,6 +214,71 @@ def _counter_lines(session: TelemetrySession) -> list[str]:
         f"{name}: {value}" for name, value in sorted(session.notes.items())
     )
     return lines
+
+
+def report_json_dict(
+    session: TelemetrySession,
+    *,
+    top: int = 5,
+    title: str = "telemetry report",
+) -> dict[str, Any]:
+    """The profile report as one machine-readable JSON document.
+
+    The same content as :func:`render_report` — phase table, slowest
+    units, counters — with raw numbers instead of formatted strings
+    (``repro-eds profile --format json``).
+    """
+    wall_total = session.unit_wall_total_s()
+    with_memory = session.has_memory()
+    phases = []
+    for name in session.phase_names():
+        s = session.metrics.summary(f"phase.{name}")
+        row: dict[str, Any] = {
+            "name": name,
+            "count": s["count"],
+            "p50_s": round(s["p50"], 9),
+            "p95_s": round(s["p95"], 9),
+            "max_s": round(s["max"], 9),
+            "total_s": round(s["total"], 9),
+            "share": round(s["total"] / wall_total, 6) if wall_total else 0.0,
+        }
+        if with_memory:
+            m = session.metrics.summary(f"phase_mem.{name}")
+            if m["count"]:
+                row["mem_peak_p50_b"] = round(m["p50"])
+                row["mem_peak_p95_b"] = round(m["p95"])
+                row["mem_peak_max_b"] = round(m["max"])
+        phases.append(row)
+    units = []
+    for unit in session.top_units(top):
+        entry: dict[str, Any] = {
+            "key": unit.key,
+            "algorithm": unit.algorithm,
+            "label": unit.label,
+            "measure": unit.measure,
+            "wall_s": round(unit.wall_s, 9),
+            "dominant_phase": dominant_phase(unit),
+            "worker": unit.worker,
+        }
+        if unit.mem_peak_b is not None:
+            entry["mem_peak_b"] = unit.mem_peak_b
+        units.append(entry)
+    return {
+        "title": title,
+        "elapsed_s": round(session.elapsed_s, 9),
+        "units_computed": len(session.units),
+        "unit_wall_total_s": round(wall_total, 9),
+        "unaccounted_s": round(session.unaccounted_s(), 9),
+        "memory_captured": with_memory,
+        "phases": phases,
+        "top_units": units,
+        "metrics": session.metrics.to_json_dict(),
+        "notes": dict(session.notes),
+        "worker_busy_s": {
+            worker: round(busy, 9)
+            for worker, busy in sorted(session.worker_busy.items())
+        },
+    }
 
 
 def render_report(

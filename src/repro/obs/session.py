@@ -28,7 +28,12 @@ __all__ = ["TelemetrySession", "current_session", "telemetry"]
 class TelemetrySession:
     """Aggregates telemetry for one command / sweep invocation."""
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        *,
+        capture_memory: bool = False,
+    ):
         self.units: list[UnitTelemetry] = []
         self.metrics = MetricsRegistry()
         #: Free-form annotations (backend description, calibration
@@ -36,6 +41,10 @@ class TelemetrySession:
         self.notes: dict[str, str] = {}
         #: Seconds each worker (``pid:thread``) spent computing units.
         self.worker_busy: dict[str, float] = {}
+        #: Opt-in per-phase memory capture (``--mem``): the executor
+        #: raises the process-wide memory flag while this session is
+        #: active.  Off by default to protect the <5% overhead budget.
+        self.capture_memory = bool(capture_memory)
         self._clock = clock
         self._started = clock()
 
@@ -52,6 +61,17 @@ class TelemetrySession:
         self.metrics.merge_counters(unit.counters)
         for phase, self_s in unit.phase_self_times().items():
             self.metrics.observe(f"phase.{phase}", self_s)
+        if unit.mem_peak_b is not None:
+            self.metrics.observe("unit.mem_peak_b", unit.mem_peak_b)
+            if unit.rss_peak_b is not None:
+                self.metrics.observe("unit.rss_peak_b", unit.rss_peak_b)
+            for phase, peak_b in unit.phase_mem_peaks().items():
+                self.metrics.observe(f"phase_mem.{phase}", peak_b)
+            engine = unit.engine()
+            if engine:
+                self.metrics.observe(
+                    f"engine_mem.{engine}", unit.mem_peak_b
+                )
 
     def note(self, name: str, value: str) -> None:
         self.notes[name] = str(value)
@@ -90,8 +110,15 @@ class TelemetrySession:
         """
         return self.unit_wall_total_s() - self.phase_total_s()
 
+    def has_memory(self) -> bool:
+        """Whether any unit shipped memory telemetry (``--mem`` runs)."""
+        return bool(self.metrics.summary("unit.mem_peak_b")["count"])
+
     def top_units(self, n: int) -> list[UnitTelemetry]:
-        return sorted(self.units, key=lambda u: -u.wall_s)[:n]
+        # Ties on wall time break by unit key so the slowest-units table
+        # is byte-stable across reruns (sorted() is stable, but the
+        # ingestion order of pool backends is completion order).
+        return sorted(self.units, key=lambda u: (-u.wall_s, u.key))[:n]
 
 
 _session: ContextVar[TelemetrySession | None] = ContextVar(
@@ -107,9 +134,15 @@ def current_session() -> TelemetrySession | None:
 @contextmanager
 def telemetry(
     clock: Callable[[], float] = time.perf_counter,
+    *,
+    capture_memory: bool = False,
 ) -> Iterator[TelemetrySession]:
-    """Activate a telemetry session for the enclosed block."""
-    session = TelemetrySession(clock)
+    """Activate a telemetry session for the enclosed block.
+
+    *capture_memory* opts in to per-phase tracemalloc/RSS capture
+    (``--mem``); it costs real time, so it is never on by default.
+    """
+    session = TelemetrySession(clock, capture_memory=capture_memory)
     token = _session.set(session)
     try:
         yield session

@@ -33,6 +33,8 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Sequence
 
+from repro.obs.memory import MemoryMeter, memory_collection_enabled
+
 __all__ = [
     "Span",
     "SpanRecorder",
@@ -56,6 +58,15 @@ class Span:
     #: Index of the enclosing span in the recorder's list, or ``None``.
     parent: int | None = None
     attrs: dict[str, Any] = field(default_factory=dict)
+    #: Memory fields, populated only under ``--mem`` (see
+    #: :mod:`repro.obs.memory`): net traced bytes allocated over the
+    #: span, peak traced bytes live while it was open, and the process
+    #: peak RSS observed at its close.  ``None`` → not captured, and the
+    #: fields are omitted from the JSON form so traces without memory
+    #: capture are byte-identical to pre-memory ones.
+    mem_alloc_b: int | None = None
+    mem_peak_b: int | None = None
+    mem_rss_b: int | None = None
 
     def to_json_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {
@@ -67,6 +78,11 @@ class Span:
             data["parent"] = self.parent
         if self.attrs:
             data["attrs"] = dict(self.attrs)
+        if self.mem_peak_b is not None:
+            data["mem_alloc_b"] = self.mem_alloc_b
+            data["mem_peak_b"] = self.mem_peak_b
+            if self.mem_rss_b is not None:
+                data["mem_rss_b"] = self.mem_rss_b
         return data
 
     @classmethod
@@ -77,6 +93,9 @@ class Span:
             duration_s=data["duration_s"],
             parent=data.get("parent"),
             attrs=dict(data.get("attrs", {})),
+            mem_alloc_b=data.get("mem_alloc_b"),
+            mem_peak_b=data.get("mem_peak_b"),
+            mem_rss_b=data.get("mem_rss_b"),
         )
 
 
@@ -100,11 +119,19 @@ def span_self_times(spans: Sequence[Span]) -> list[float]:
 class SpanRecorder:
     """Collects one unit's spans and counters (single-threaded use)."""
 
-    __slots__ = ("spans", "counters", "_clock", "_t0", "_stack")
+    __slots__ = (
+        "spans", "counters", "mem", "mem_peak_b", "rss_peak_b",
+        "_clock", "_t0", "_stack",
+    )
 
     def __init__(self, clock: Callable[[], float] = time.perf_counter):
         self.spans: list[Span] = []
         self.counters: dict[str, float] = {}
+        #: The unit's :class:`~repro.obs.memory.MemoryMeter` while memory
+        #: capture is live (installed by :func:`recording`), else ``None``.
+        self.mem: MemoryMeter | None = None
+        self.mem_peak_b: int | None = None
+        self.rss_peak_b: int | None = None
         self._clock = clock
         self._t0 = clock()
         self._stack: list[int] = []
@@ -120,6 +147,8 @@ class SpanRecorder:
             attrs=dict(attrs) if attrs else {},
         ))
         self._stack.append(index)
+        if self.mem is not None:
+            self.mem.on_open(self.spans[index])
         return index
 
     def close(self, index: int) -> None:
@@ -130,6 +159,8 @@ class SpanRecorder:
             self._stack.pop()
         if self._stack:
             self._stack.pop()
+        if self.mem is not None:
+            self.mem.on_close(s)
 
     def annotate(self, **attrs: Any) -> None:
         """Attach attributes to the innermost open span (if any).
@@ -179,14 +210,29 @@ def current_recorder() -> SpanRecorder | None:
 @contextmanager
 def recording(
     clock: Callable[[], float] = time.perf_counter,
+    *,
+    capture_memory: bool | None = None,
 ) -> Iterator[SpanRecorder]:
-    """Install a fresh recorder for one unit's execution."""
+    """Install a fresh recorder for one unit's execution.
+
+    *capture_memory* defaults to the process-wide flag
+    (:func:`~repro.obs.memory.memory_collection_enabled`).  tracemalloc
+    peaks are process state, so if another unit's meter is already live
+    (thread backend) this one records timing only.
+    """
     rec = SpanRecorder(clock)
+    if capture_memory is None:
+        capture_memory = memory_collection_enabled()
+    if capture_memory:
+        rec.mem = MemoryMeter.acquire()
     token = _recorder.set(rec)
     try:
         yield rec
     finally:
         _recorder.reset(token)
+        if rec.mem is not None:
+            rec.mem_peak_b, rec.rss_peak_b = rec.mem.finish()
+            rec.mem = None
 
 
 @contextmanager
@@ -224,6 +270,9 @@ class UnitTelemetry:
     worker: str
     spans: list[Span] = field(default_factory=list)
     counters: dict[str, float] = field(default_factory=dict)
+    #: Peak traced bytes / peak RSS over the unit, only under ``--mem``.
+    mem_peak_b: int | None = None
+    rss_peak_b: int | None = None
 
     @classmethod
     def from_recorder(
@@ -245,6 +294,8 @@ class UnitTelemetry:
             worker=worker_id(),
             spans=rec.spans,
             counters=dict(rec.counters),
+            mem_peak_b=rec.mem_peak_b,
+            rss_peak_b=rec.rss_peak_b,
         )
 
     def phase_self_times(self) -> dict[str, float]:
@@ -254,8 +305,31 @@ class UnitTelemetry:
             totals[s.name] = totals.get(s.name, 0.0) + self_s
         return totals
 
+    def phase_mem_peaks(self) -> dict[str, int]:
+        """Max traced-peak bytes per phase name (empty without --mem)."""
+        peaks: dict[str, int] = {}
+        for s in self.spans:
+            if s.mem_peak_b is None:
+                continue
+            prev = peaks.get(s.name)
+            if prev is None or s.mem_peak_b > prev:
+                peaks[s.name] = s.mem_peak_b
+        return peaks
+
+    def engine(self) -> str | None:
+        """The simulation engine this unit ran on, if annotated.
+
+        The runtime scheduler annotates the ``simulate`` span with the
+        engine name; per-engine aggregation (memory by engine) reads it
+        back from here.
+        """
+        for s in self.spans:
+            if s.name == "simulate" and "engine" in s.attrs:
+                return str(s.attrs["engine"])
+        return None
+
     def to_json_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "key": self.key,
             "algorithm": self.algorithm,
             "label": self.label,
@@ -265,6 +339,11 @@ class UnitTelemetry:
             "spans": [s.to_json_dict() for s in self.spans],
             "counters": dict(self.counters),
         }
+        if self.mem_peak_b is not None:
+            data["mem_peak_b"] = self.mem_peak_b
+            if self.rss_peak_b is not None:
+                data["rss_peak_b"] = self.rss_peak_b
+        return data
 
     @classmethod
     def from_json_dict(cls, data: Mapping[str, Any]) -> "UnitTelemetry":
@@ -277,6 +356,8 @@ class UnitTelemetry:
             worker=data["worker"],
             spans=[Span.from_json_dict(s) for s in data.get("spans", ())],
             counters=dict(data.get("counters", {})),
+            mem_peak_b=data.get("mem_peak_b"),
+            rss_peak_b=data.get("rss_peak_b"),
         )
 
 

@@ -53,6 +53,7 @@ def write_trace(
     lines.append({
         "type": "summary",
         "elapsed_s": round(session.elapsed_s, 9),
+        "memory_captured": session.has_memory(),
         "metrics": session.metrics.to_json_dict(),
         "notes": dict(session.notes),
         "worker_busy_s": {

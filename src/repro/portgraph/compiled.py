@@ -118,9 +118,11 @@ class CompiledGraph:
         try:
             return self.memo["vector_graph"]
         except KeyError:
+            from repro.obs.spans import span
             from repro.portgraph.vector import VectorGraph
 
-            vg = VectorGraph(self)
+            with span("graph_build:vector_view", n=self.num_nodes):
+                vg = VectorGraph(self)
             self.memo["vector_graph"] = vg
             return vg
 

@@ -316,9 +316,11 @@ class PortNumberedGraph:
         run; see :mod:`repro.portgraph.compiled`.
         """
         if self._compiled is None:
+            from repro.obs.spans import span
             from repro.portgraph.compiled import CompiledGraph
 
-            self._compiled = CompiledGraph(self)
+            with span("graph_build:compile", n=self.num_nodes):
+                self._compiled = CompiledGraph(self)
         return self._compiled
 
     # ------------------------------------------------------------------

@@ -1,0 +1,218 @@
+"""Tests for the Chrome trace-event / Perfetto exporter.
+
+The acceptance criterion for this subsystem is that a ``--trace-format
+perfetto`` sidecar *validates against the Chrome trace-event schema*:
+every event carries the keys its phase type requires with the right
+types, the document is the JSON object form with ``traceEvents``, and
+the per-worker sequential layout never overlaps unit envelopes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.engine import SweepGrid
+from repro.obs import (
+    PERFETTO_VERSION,
+    TRACE_FORMATS,
+    telemetry,
+    trace_events,
+    write_perfetto,
+)
+
+GRID = SweepGrid(
+    name="perfetto-test",
+    algorithms=("port_one", "bounded_degree"),
+    family="regular",
+    degrees=(2, 3),
+    sizes=(12,),
+    seeds=1,
+)
+
+
+def units():
+    return GRID.expand()
+
+
+@pytest.fixture(scope="module")
+def session():
+    with telemetry() as sess:
+        api.run_sweep(units(), cache=None, backend="inline")
+    return sess
+
+
+def validate_chrome_trace(document: dict) -> list[dict]:
+    """Assert *document* conforms to the Chrome trace-event JSON object
+    format; returns the event list for further inspection."""
+    assert isinstance(document, dict)
+    assert isinstance(document["traceEvents"], list)
+    assert document["displayTimeUnit"] in ("ms", "ns")
+    for event in document["traceEvents"]:
+        assert isinstance(event["name"], str) and event["name"]
+        ph = event["ph"]
+        assert ph in ("X", "M", "C")
+        assert isinstance(event["pid"], int)
+        assert isinstance(event.get("args", {}), dict)
+        if ph == "X":  # complete event: timestamped + duration, on a thread
+            assert isinstance(event["ts"], int) and event["ts"] >= 0
+            assert isinstance(event["dur"], int) and event["dur"] >= 1
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["cat"], str)
+        elif ph == "M":  # metadata
+            assert event["name"] in ("process_name", "thread_name")
+            assert "name" in event["args"]
+        elif ph == "C":  # counter: timestamped numeric series
+            assert isinstance(event["ts"], int)
+            for value in event["args"].values():
+                assert isinstance(value, (int, float))
+    return document["traceEvents"]
+
+
+class TestTraceEvents:
+    def test_events_validate_against_schema(self, session):
+        events = trace_events(session)
+        validate_chrome_trace({
+            "traceEvents": events, "displayTimeUnit": "ms",
+        })
+
+    def test_every_unit_has_envelope_and_phases(self, session):
+        events = trace_events(session)
+        unit_events = [e for e in events if e.get("cat") == "unit"]
+        assert len(unit_events) == len(units())
+        phase_events = [e for e in events if e.get("cat") == "phase"]
+        names = {e["name"] for e in phase_events}
+        assert "simulate" in names and "graph_build" in names
+
+    def test_metadata_names_every_worker_track(self, session):
+        events = trace_events(session)
+        meta = [e for e in events if e["ph"] == "M"]
+        pids_with_names = {
+            e["pid"] for e in meta if e["name"] == "process_name"
+        }
+        event_pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert event_pids <= pids_with_names
+
+    def test_counter_tracks_present(self, session):
+        events = trace_events(session)
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert "rounds" in counters and "messages" in counters
+
+    def test_sequential_layout_never_overlaps_per_worker(self, session):
+        events = trace_events(session)
+        by_track: dict[tuple[int, int], list[tuple[int, int]]] = {}
+        for e in events:
+            if e.get("cat") == "unit":
+                by_track.setdefault((e["pid"], e["tid"]), []).append(
+                    (e["ts"], e["dur"])
+                )
+        assert by_track
+        for intervals in by_track.values():
+            intervals.sort()
+            for (ts_a, dur_a), (ts_b, _) in zip(intervals, intervals[1:]):
+                assert ts_a + dur_a <= ts_b
+
+    def test_phase_spans_stay_inside_unit_envelope(self, session):
+        events = trace_events(session)
+        # Group by track; every phase event must start at or after the
+        # enclosing unit event on that track.
+        units_by_track: dict[tuple[int, int], list[dict]] = {}
+        for e in events:
+            if e.get("cat") == "unit":
+                units_by_track.setdefault((e["pid"], e["tid"]), []).append(e)
+        for e in events:
+            if e.get("cat") != "phase":
+                continue
+            track = units_by_track[(e["pid"], e["tid"])]
+            assert any(u["ts"] <= e["ts"] for u in track)
+
+
+class TestMemoryInTrace:
+    def test_bytes_counter_only_with_memory_capture(self):
+        with telemetry(capture_memory=True) as sess:
+            api.run_sweep(units()[:2], cache=None, backend="inline")
+        events = trace_events(sess)
+        byte_counters = [
+            e for e in events if e["ph"] == "C" and e["name"] == "bytes"
+        ]
+        assert len(byte_counters) == 2
+        assert all(e["args"]["traced_peak"] > 0 for e in byte_counters)
+        unit_events = [e for e in events if e.get("cat") == "unit"]
+        assert all("mem_peak_b" in e["args"] for e in unit_events)
+
+        with telemetry() as plain:
+            api.run_sweep(units()[:1], cache=None, backend="inline")
+        assert not any(
+            e["name"] == "bytes" for e in trace_events(plain)
+        )
+
+
+class TestWritePerfetto:
+    def test_document_round_trips_and_validates(self, session, tmp_path):
+        path = tmp_path / "trace.pft.json"
+        count = write_perfetto(path, session, meta={"command": "test"})
+        document = json.loads(path.read_text())
+        events = validate_chrome_trace(document)
+        assert len(events) == count
+        other = document["otherData"]
+        assert other["exporter"] == "repro.obs.perfetto"
+        assert other["version"] == str(PERFETTO_VERSION)
+        assert other["command"] == "test"
+
+    def test_empty_session_writes_valid_document(self, tmp_path):
+        with telemetry() as sess:
+            pass
+        path = tmp_path / "empty.json"
+        assert write_perfetto(path, sess) == 0
+        document = json.loads(path.read_text())
+        assert validate_chrome_trace(document) == []
+
+
+class TestCliIntegration:
+    def test_trace_formats_constant_matches_cli(self):
+        assert TRACE_FORMATS == ("jsonl", "perfetto")
+
+    def test_profile_writes_perfetto_sidecar(self, tmp_path, caplog):
+        """Acceptance: `--trace-format perfetto` produces a sidecar that
+        validates against the Chrome trace-event schema."""
+        trace = tmp_path / "profile.pft.json"
+        with caplog.at_level("INFO", logger="repro.cli"):
+            code = main([
+                "profile", "--scenario", "default", "--limit", "2",
+                "--backend", "inline", "--no-cache",
+                "--trace", str(trace), "--trace-format", "perfetto",
+            ])
+        assert code == 0
+        events = validate_chrome_trace(json.loads(trace.read_text()))
+        assert any(e.get("cat") == "unit" for e in events)
+        assert "perfetto trace" in caplog.text
+
+    def test_sweep_supports_perfetto_with_mem(self, tmp_path, capsys):
+        trace = tmp_path / "sweep.pft.json"
+        code = main([
+            "sweep", "--degrees", "2", "--sizes", "12", "--seeds", "1",
+            "--no-cache", "--backend", "inline", "--quiet",
+            "--algorithms", "port_one",
+            "--trace", str(trace), "--trace-format", "perfetto", "--mem",
+        ])
+        assert code == 0
+        events = validate_chrome_trace(json.loads(trace.read_text()))
+        assert any(
+            e["ph"] == "C" and e["name"] == "bytes" for e in events
+        )
+
+    def test_default_format_stays_jsonl(self, tmp_path):
+        trace = tmp_path / "default.jsonl"
+        code = main([
+            "sweep", "--degrees", "2", "--sizes", "12", "--seeds", "1",
+            "--no-cache", "--backend", "inline", "--quiet",
+            "--algorithms", "port_one", "--trace", str(trace),
+        ])
+        assert code == 0
+        lines = trace.read_text().splitlines()
+        # JSONL: one object per line, not a single trace document.
+        assert len(lines) > 1
+        assert all(json.loads(line) for line in lines)

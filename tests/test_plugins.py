@@ -243,7 +243,7 @@ class TestEngineIntegration:
         unit = JobSpec("plug_worker", GraphSpec.make("cycle", n=6))
         modules = _plugin_modules([unit])
         assert modules == ("eds_wrk_plugin",)
-        payload = (0, unit.to_json_dict(), modules, False)
+        payload = (0, unit.to_json_dict(), modules, False, False)
 
         # Simulate the spawn worker's fresh interpreter: the plugin's
         # registration and module are gone, only the payload remains.

@@ -388,7 +388,7 @@ class TestWorkerPluginPropagation:
             unit = JobSpec("plug_all_edges", GraphSpec.make("cycle", n=6))
             modules = _plugin_modules([unit])
             assert modules == ("eds_plugin_mod",)
-            payload = (0, unit.to_json_dict(), modules, False)
+            payload = (0, unit.to_json_dict(), modules, False, False)
 
             # simulate a spawn worker: fresh interpreter = no plugin
             ALGORITHMS.unregister("plug_all_edges")

@@ -342,3 +342,117 @@ class TestApiSurface:
             report = api.run_sweep(units(), backend="inline")
         assert report.telemetry is session
         assert report.wall_time_s > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Edge cases: empty sessions, all-cached runs, ordering determinism
+# ---------------------------------------------------------------------------
+
+
+class TestEdgeCases:
+    def _unit(self, key: str, wall: float) -> UnitTelemetry:
+        return UnitTelemetry(
+            key=key, algorithm="a", label="l", measure="quality",
+            wall_s=wall, worker="1:MainThread",
+        )
+
+    def test_top_units_breaks_wall_ties_by_key(self):
+        """Pool backends ingest units in completion order; equal wall
+        times must still render in one canonical order."""
+        from repro.obs.session import TelemetrySession
+
+        for order in (("b", "a", "c"), ("c", "b", "a")):
+            session = TelemetrySession()
+            for key in order:
+                session.add_unit(self._unit(key, 0.5))
+            assert [u.key for u in session.top_units(3)] == ["a", "b", "c"]
+
+    def test_top_units_sorts_by_wall_before_key(self):
+        from repro.obs.session import TelemetrySession
+
+        session = TelemetrySession()
+        session.add_unit(self._unit("z", 2.0))
+        session.add_unit(self._unit("a", 1.0))
+        assert [u.key for u in session.top_units(2)] == ["z", "a"]
+
+    def test_empty_session_renders_report(self):
+        from repro.obs import render_report, report_json_dict
+
+        with telemetry() as session:
+            pass
+        text = render_report(session)
+        assert "0 unit(s)" in text or "units" in text
+        data = report_json_dict(session)
+        assert data["units_computed"] == 0
+        assert data["phases"] == []
+        assert data["top_units"] == []
+        assert data["memory_captured"] is False
+
+    def test_empty_metrics_merge(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.merge_counters(right.counters)
+        assert left.counters == {}
+        assert left.summary("anything") == {
+            "count": 0, "total": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0,
+        }
+
+    def test_all_cached_sweep_has_zero_units_but_valid_outputs(
+        self, tmp_path
+    ):
+        from repro.obs import render_report, write_perfetto
+
+        cache = ResultCache(tmp_path / "cache")
+        api.run_sweep(units(), cache=cache)  # warm
+        with telemetry() as session:
+            api.run_sweep(units(), cache=cache)
+        assert session.units == []
+        assert session.metrics.counters.get("cache.hit") == len(units())
+        assert session.top_units(5) == []
+        assert session.unaccounted_s() == 0.0
+        # Both exporters must cope with a unit-less session.
+        trace = tmp_path / "cached.jsonl"
+        assert write_trace(trace, session) == 2
+        assert write_perfetto(tmp_path / "cached.pft.json", session) == 0
+        assert "cache" in render_report(session)
+
+    def test_profile_format_json_cli(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "profile", "--scenario", "default", "--limit", "2",
+            "--backend", "inline", "--no-cache", "--format", "json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["units_computed"] == 2
+        assert data["memory_captured"] is False
+        assert {p["name"] for p in data["phases"]} >= {"simulate"}
+        assert len(data["top_units"]) == 2
+
+    def test_profile_json_with_memory_carries_bytes(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "profile", "--scenario", "default", "--limit", "1",
+            "--backend", "inline", "--no-cache", "--format", "json",
+            "--mem",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["memory_captured"] is True
+        simulate = next(
+            p for p in data["phases"] if p["name"] == "simulate"
+        )
+        assert simulate["mem_peak_max_b"] > 0
+        assert data["top_units"][0]["mem_peak_b"] > 0
+
+    def test_mem_without_trace_warns_on_sweep(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "sweep", "--degrees", "2", "--sizes", "12", "--seeds", "1",
+            "--no-cache", "--backend", "inline", "--quiet",
+            "--algorithms", "port_one", "--mem",
+        ])
+        assert code == 0
+        assert "--mem has no effect" in capsys.readouterr().err
