@@ -78,6 +78,7 @@ from repro.experiments.sweeps import (
 )
 from repro.experiments.table1 import format_table1, reproduce_table1
 from repro.generators.bounded import grid, random_bounded_degree
+from repro.generators.pairing import pairing_regular
 from repro.generators.regular import cycle, random_regular
 from repro.exceptions import SimulationError
 from repro.obs import (
@@ -270,6 +271,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the scenario's degree axis, e.g. 2,3,4",
     )
     sweep.add_argument(
+        "--family", default=None,
+        help="override the scenario's graph family (grid families: "
+        "regular, pairing_regular, bounded) — e.g. run the "
+        "xlarge-regular slice on the direct-to-CSR pairing generator",
+    )
+    sweep.add_argument(
         "--sizes", type=_int_list, default=None,
         help="override the scenario's size axis, e.g. 16,32,64",
     )
@@ -389,7 +396,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="run one algorithm on one graph")
     demo.add_argument(
         "--family",
-        choices=["regular", "cycle", "grid", "bounded"],
+        choices=["regular", "pairing_regular", "cycle", "grid", "bounded"],
         default="regular",
     )
     demo.add_argument("--algorithm", choices=algorithm_names(),
@@ -423,6 +430,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--degrees", type=_int_list, default=None,
         help="override the scenario's degree axis, e.g. 2,3,4",
+    )
+    profile.add_argument(
+        "--family", default=None,
+        help="override the scenario's graph family (grid families: "
+        "regular, pairing_regular, bounded)",
     )
     profile.add_argument(
         "--sizes", type=_int_list, default=None,
@@ -514,6 +526,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the scenario's degree axis, e.g. 2,3,4",
     )
     perf.add_argument(
+        "--family", default=None,
+        help="override the scenario's graph family (grid families: "
+        "regular, pairing_regular, bounded)",
+    )
+    perf.add_argument(
         "--sizes", type=_int_list, default=None,
         help="override the scenario's size axis, e.g. 16,32,64",
     )
@@ -584,6 +601,11 @@ def _run_demo(args: argparse.Namespace) -> str:
         n = max(n, args.d + 1 + (args.d + 1) % 2)
         graph = random_regular(args.d, n, seed=args.seed)
         label = f"random {args.d}-regular, n={n}"
+    elif args.family == "pairing_regular":
+        n = args.n + (args.n * args.d) % 2
+        n = max(n, args.d + 1 + (args.d + 1) % 2)
+        graph = pairing_regular(args.d, n, seed=args.seed)
+        label = f"pairing {args.d}-regular, n={n}"
     elif args.family == "cycle":
         graph = cycle(args.n, seed=args.seed)
         label = f"cycle, n={args.n}"
@@ -849,12 +871,14 @@ def _resolved_scenario(args: argparse.Namespace):
     """The named scenario with the shared axis-override flags applied.
 
     ``sweep``, ``profile`` and ``perf record`` expose the same override
-    surface (degrees/sizes/seeds/algorithms/measure/optimum); this is
-    the one place it is interpreted.  Raises :class:`ValueError` with a
-    user-facing message on bad overrides.
+    surface (family/degrees/sizes/seeds/algorithms/measure/optimum);
+    this is the one place it is interpreted.  Raises
+    :class:`ValueError` with a user-facing message on bad overrides.
     """
     scenario = get_scenario(args.scenario)
     overrides: dict[str, object] = {}
+    if getattr(args, "family", None) is not None:
+        overrides["family"] = args.family
     if args.degrees is not None:
         overrides["degrees"] = args.degrees
     if args.sizes is not None:

@@ -18,7 +18,10 @@ from repro.engine.spec import GraphSpec, JobSpec, derive_seed
 __all__ = ["SweepGrid"]
 
 #: Families the grid layer knows how to parameterise by (degree, size).
-_GRID_FAMILIES = ("regular", "bounded")
+_GRID_FAMILIES = ("regular", "pairing_regular", "bounded")
+
+#: The d-regular families: same feasibility rule, same cell labels.
+_REGULAR_FAMILIES = ("regular", "pairing_regular")
 
 
 @dataclass(frozen=True)
@@ -51,21 +54,21 @@ class SweepGrid:
         return replace(self, **changes)  # type: ignore[arg-type]
 
     def _cell_feasible(self, d: int, n: int) -> bool:
-        if self.family == "regular":
+        if self.family in _REGULAR_FAMILIES:
             return n > d and (n * d) % 2 == 0
         return n > 1
 
     def _algorithm_applies(self, algorithm: str, d: int) -> bool:
         # The Theorem 4 algorithm is defined for odd-regular graphs only.
         if algorithm == "regular_odd":
-            return self.family == "regular" and d % 2 == 1
+            return self.family in _REGULAR_FAMILIES and d % 2 == 1
         return True
 
     def _graph_spec(self, d: int, n: int, replicate: int) -> GraphSpec:
         seed = derive_seed(self.name, self.base_seed, self.family,
                            d, n, replicate)
-        if self.family == "regular":
-            return GraphSpec.make("regular", seed=seed, d=d, n=n)
+        if self.family in _REGULAR_FAMILIES:
+            return GraphSpec.make(self.family, seed=seed, d=d, n=n)
         return GraphSpec.make("bounded", seed=seed, n=n, max_degree=d)
 
     def cells(self) -> Iterator[tuple[int, int, int]]:
@@ -84,7 +87,7 @@ class SweepGrid:
             graph = self._graph_spec(d, n, t)
             label = (
                 f"{self.family} d={d} n={n} #{t}"
-                if self.family == "regular"
+                if self.family in _REGULAR_FAMILIES
                 else f"{self.family} Δ={d} n={n} #{t}"
             )
             for algorithm in self.algorithms:

@@ -94,10 +94,22 @@ def default_execute(measure: Measure, spec: JobSpec, key: str) -> ResultRecord:
     # steps triggered later (``graph_build:compile`` in
     # ``PortNumberedGraph.compiled``, ``graph_build:vector_view`` in
     # ``CompiledGraph.vector``) record themselves wherever they fire, so
-    # the phase table pins exactly which build stage dominates.
-    with span("graph_build", family=spec.graph.family):
+    # the phase table pins exactly which build stage dominates.  On the
+    # direct-to-CSR path the generator emits compiled arrays itself, so
+    # ``generate`` covers the array synthesis and ``compile`` never
+    # fires; the span is tagged ``direct`` so the report can tell the
+    # two shapes apart, and the build counters feed the edges/s line.
+    with span("graph_build", family=spec.graph.family) as build:
         with span("graph_build:generate"):
             graph = spec.graph.build()
+        if build is not None:
+            build.attrs["direct"] = (
+                getattr(graph, "_compiled", None) is not None
+            )
+        recorder = current_recorder()
+        if recorder is not None and isinstance(graph, PortNumberedGraph):
+            recorder.count("graph_build.graphs")
+            recorder.count("graph_build.edges", graph.num_edges)
     if not isinstance(graph, PortNumberedGraph):
         raise AlgorithmContractError(
             f"measure {measure.name!r} needs a plain graph family, got "

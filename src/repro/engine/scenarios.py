@@ -7,6 +7,8 @@ only practical through the engine's sharded executor and cache;
 ``xlarge-regular`` pushes n to 16384 on top of the compiled simulation
 core (E19) and, since the certified-bounds subsystem (E21), reports
 ratio intervals from the ν sandwich instead of running blind;
+``huge-regular`` rides the direct-to-CSR pairing-model generator to
+n = 10^6 (E24, vector engine);
 ``comparison`` is the regular-family half of the ``repro-eds compare``
 head-to-head (paper algorithms vs the :mod:`repro.baselines` family).
 """
@@ -53,6 +55,23 @@ SCENARIOS: dict[str, SweepGrid] = {
         sizes=(4096, 8192, 16384),
         seeds=2,
         optimum="dual_bound",
+    ),
+    # The million-node scenario the direct-to-CSR path unlocks: the
+    # pairing-model generator emits compiled arrays in O(nd), so graph
+    # build stays seconds even at n = 10^6 where the networkx regular
+    # family spent minutes in dict walks.  Ratios are off
+    # (``optimum="none"``): at this scale the object of study is
+    # rounds/sizes/memory per degree (E24); pass ``--optimum
+    # dual_bound`` for certified intervals when you can afford the
+    # ν-sandwich at 4·10^6 edges.  Run with ``--engine vector``.
+    "huge-regular": SweepGrid(
+        name="huge-regular",
+        algorithms=("port_one", "regular_odd", "bounded_degree"),
+        family="pairing_regular",
+        degrees=(2, 3, 4, 8),
+        sizes=(131072, 1048576),
+        seeds=1,
+        optimum="none",
     ),
     "bounded-mixed": SweepGrid(
         name="bounded-mixed",

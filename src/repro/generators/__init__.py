@@ -8,6 +8,7 @@ from repro.generators.bounded import (
     random_tree,
     star,
 )
+from repro.generators.pairing import pairing_regular
 from repro.generators.regular import (
     circulant,
     complete,
@@ -27,6 +28,7 @@ from repro.generators.special import (
 
 __all__ = [
     "random_regular",
+    "pairing_regular",
     "cycle",
     "complete",
     "complete_bipartite",

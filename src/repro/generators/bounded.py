@@ -7,6 +7,11 @@ import random
 import networkx as nx
 
 from repro.exceptions import ConstructionError
+from repro.generators.direct import (
+    from_neighbour_lists,
+    grid_neighbours,
+    path_neighbours,
+)
 from repro.portgraph.convert import from_networkx
 from repro.portgraph.graph import PortNumberedGraph
 from repro.portgraph.numbering import (
@@ -70,6 +75,8 @@ def path(
     """The path on n nodes (max degree 2)."""
     if n < 1:
         raise ConstructionError("path needs n >= 1")
+    if numbering is None:
+        return from_neighbour_lists(path_neighbours(n), seed)
     return _convert(nx.path_graph(n), numbering, seed)
 
 
@@ -81,6 +88,8 @@ def grid(
     numbering: NumberingStrategy | None = None,
 ) -> PortNumberedGraph:
     """The rows x cols grid (max degree 4) — e.g. a sensor-field layout."""
+    if numbering is None:
+        return from_neighbour_lists(grid_neighbours(rows, cols), seed)
     graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(rows, cols))
     return _convert(graph, numbering, seed)
 

@@ -5,6 +5,14 @@ from __future__ import annotations
 import networkx as nx
 
 from repro.exceptions import ConstructionError
+from repro.generators.direct import (
+    complete_bipartite_neighbours,
+    complete_neighbours,
+    cycle_neighbours,
+    from_neighbour_lists,
+    hypercube_neighbours,
+    torus_neighbours,
+)
 from repro.portgraph.convert import from_networkx
 from repro.portgraph.graph import PortNumberedGraph
 from repro.portgraph.numbering import (
@@ -62,6 +70,8 @@ def cycle(
     """The n-cycle (2-regular)."""
     if n < 3:
         raise ConstructionError(f"cycle needs n >= 3, got {n}")
+    if numbering is None:
+        return from_neighbour_lists(cycle_neighbours(n), seed)
     return _convert(nx.cycle_graph(n), numbering, seed)
 
 
@@ -74,6 +84,8 @@ def complete(
     """The complete graph K_n ((n-1)-regular)."""
     if n < 2:
         raise ConstructionError(f"complete graph needs n >= 2, got {n}")
+    if numbering is None:
+        return from_neighbour_lists(complete_neighbours(n), seed)
     return _convert(nx.complete_graph(n), numbering, seed)
 
 
@@ -87,6 +99,10 @@ def complete_bipartite(
     """K_{a,b} (regular when a == b)."""
     if a < 1 or b < 1:
         raise ConstructionError("both sides need at least one node")
+    if numbering is None:
+        return from_neighbour_lists(
+            complete_bipartite_neighbours(a, b), seed
+        )
     return _convert(nx.complete_bipartite_graph(a, b), numbering, seed)
 
 
@@ -111,6 +127,8 @@ def hypercube(
     """The dim-dimensional hypercube (dim-regular, 2^dim nodes)."""
     if dim < 1:
         raise ConstructionError(f"hypercube needs dim >= 1, got {dim}")
+    if numbering is None:
+        return from_neighbour_lists(hypercube_neighbours(dim), seed)
     graph = nx.convert_node_labels_to_integers(nx.hypercube_graph(dim))
     return _convert(graph, numbering, seed)
 
@@ -125,6 +143,8 @@ def torus(
     """The rows x cols torus grid (4-regular when both sides >= 3)."""
     if rows < 3 or cols < 3:
         raise ConstructionError("torus needs both sides >= 3")
+    if numbering is None:
+        return from_neighbour_lists(torus_neighbours(rows, cols), seed)
     graph = nx.convert_node_labels_to_integers(
         nx.grid_2d_graph(rows, cols, periodic=True)
     )

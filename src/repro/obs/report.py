@@ -159,6 +159,18 @@ def _counter_lines(session: TelemetrySession) -> list[str]:
             f"{rounds:g} rounds{per_s}; messages: {delivered:g} "
             f"delivered, {dropped:g} dropped"
         )
+    built = m.counter("graph_build.graphs")
+    if built:
+        edges = m.counter("graph_build.edges")
+        build_s = sum(
+            m.summary(name)["total"]
+            for name in m.histogram_names(prefix="phase.graph_build")
+        )
+        per_s = f", {edges / build_s:,.0f} edges/s" if build_s else ""
+        lines.append(
+            f"graph build: {built:g} graph(s), {int(edges):,} edge(s) in "
+            f"{_fmt_s(build_s)}{per_s}"
+        )
     sandwiches = m.counter("optimum.sandwich")
     if sandwiches:
         mean_gap = m.counter("optimum.gap_total") / sandwiches

@@ -12,6 +12,7 @@ Public surface:
 * :mod:`~repro.portgraph.covering` — covering maps, quotients and lifts.
 """
 
+from repro.portgraph.arrays import ArrayGraph
 from repro.portgraph.builder import PortGraphBuilder
 from repro.portgraph.convert import (
     from_neighbour_orders,
@@ -57,6 +58,7 @@ from repro.portgraph.views import (
 
 __all__ = [
     "PortNumberedGraph",
+    "ArrayGraph",
     "PortGraphBuilder",
     "PortEdge",
     "Node",

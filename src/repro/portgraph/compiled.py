@@ -107,6 +107,48 @@ class CompiledGraph:
         #: construction intermediates.
         self.memo: dict = {"flat_lists": (mate_list, port_owner)}
 
+    @classmethod
+    def from_arrays(
+        cls,
+        graph,
+        nodes: tuple[Node, ...],
+        degrees: tuple[int, ...],
+        offsets: array,
+        mate: array,
+        port_node: array,
+    ) -> "CompiledGraph":
+        """Assemble a compiled graph directly from its CSR arrays.
+
+        The direct-to-CSR construction path: generators that already
+        know the flat layout (``repro.generators.direct``,
+        ``pairing_regular``) hand the arrays over without ever
+        materialising the ``dict[Port, Port]`` involution that
+        ``__init__`` would walk.  *graph* is the owning
+        :class:`~repro.portgraph.arrays.ArrayGraph` view (may be filled
+        in by the caller immediately after construction).
+
+        Arrays must be ``array('q')`` — the buffer-protocol contract the
+        vector engine's zero-copy views rely on.  Structural validity
+        (involution, ranges) is the caller's responsibility; the
+        :class:`ArrayGraph` constructor validates by default.
+        """
+        self = object.__new__(cls)
+        self.graph = graph
+        self.nodes = tuple(nodes)
+        n = len(self.nodes)
+        self.num_nodes = n
+        self.node_index = {v: k for k, v in enumerate(self.nodes)}
+        self.degrees = tuple(degrees)
+        self.offsets = offsets
+        self.num_ports = offsets[n] if len(offsets) > n else 0
+        self.mate = mate
+        self.port_node = port_node
+        # Unlike ``__init__`` there are no construction intermediates to
+        # seed ``flat_lists`` from; the list forms materialise lazily on
+        # first use by the compiled per-node loop.
+        self.memo = {}
+        return self
+
     def vector(self):
         """The numpy struct-of-arrays view of this graph, memoised.
 

@@ -30,6 +30,7 @@ from repro.generators.bounded import (
     random_tree,
     star,
 )
+from repro.generators.pairing import pairing_regular
 from repro.generators.regular import (
     complete,
     cycle,
@@ -68,6 +69,12 @@ register_graph_family(
     "regular", params=("d", "n"),
     description="random d-regular graph on n nodes",
 )(lambda p, s: random_regular(p["d"], p["n"], seed=_seeded(s)))
+
+register_graph_family(
+    "pairing_regular", params=("d", "n"),
+    description="pairing-model random d-regular graph on n nodes "
+    "(O(nd) direct-to-CSR; switch-repaired to simple)",
+)(lambda p, s: pairing_regular(p["d"], p["n"], seed=_seeded(s)))
 
 register_graph_family(
     "cycle", params=("n",), description="cycle on n nodes",

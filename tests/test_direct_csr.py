@@ -1,0 +1,281 @@
+"""Differential tests for the direct-to-CSR construction path.
+
+The structured families (`cycle`, `complete`, `complete_bipartite`,
+`hypercube`, `torus`, `path`, `grid`) build compiled arrays directly
+when no explicit numbering is requested.  That fast path must be
+**byte-identical** to the historical networkx route: same node order,
+same port assignment, same canonical edge order, same compiled arrays,
+same cache keys and record bytes.  These tests pin that contract, plus
+the :class:`~repro.portgraph.arrays.ArrayGraph` validation and
+degenerate-input behaviour the fast path depends on.
+"""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+
+import pytest
+
+import repro.registry.builtins  # noqa: F401  (populate the registry)
+from repro.engine.cache import cache_key
+from repro.engine.executor import execute_unit
+from repro.engine.spec import GraphSpec, JobSpec
+from repro.exceptions import (
+    ConstructionError,
+    InvolutionError,
+    PortNumberingError,
+)
+from repro.generators.bounded import grid, path
+from repro.generators.regular import (
+    complete,
+    complete_bipartite,
+    cycle,
+    hypercube,
+    torus,
+)
+from repro.portgraph.arrays import ArrayGraph
+from repro.portgraph.compiled import CompiledGraph
+from repro.portgraph.numbering import random_numbering, sequential_numbering
+
+#: (family callable, positional args) — every direct-path builder.
+FAMILIES = [
+    ("cycle", cycle, (3,)),
+    ("cycle", cycle, (9,)),
+    ("cycle", cycle, (12,)),
+    ("complete", complete, (2,)),
+    ("complete", complete, (7,)),
+    ("complete_bipartite", complete_bipartite, (1, 1)),
+    ("complete_bipartite", complete_bipartite, (3, 5)),
+    ("hypercube", hypercube, (1,)),
+    ("hypercube", hypercube, (4,)),
+    ("torus", torus, (3, 3)),
+    ("torus", torus, (3, 5)),
+    ("path", path, (1,)),
+    ("path", path, (2,)),
+    ("path", path, (11,)),
+    ("grid", grid, (0, 3)),
+    ("grid", grid, (1, 4)),
+    ("grid", grid, (3, 4)),
+]
+
+SEEDS = [None, 0, 7, 12345]
+
+
+def nx_forced(build, args, seed):
+    """The same family through the historical networkx route."""
+    numbering = (
+        sequential_numbering if seed is None else random_numbering(seed)
+    )
+    return build(*args, seed=seed, numbering=numbering)
+
+
+def assert_graphs_byte_identical(direct, reference, context: str):
+    # Model-level identity: nodes, degrees, involution, canonical edges.
+    assert tuple(direct.nodes) == tuple(reference.nodes), context
+    assert dict(direct.degrees) == dict(reference.degrees), context
+    assert dict(direct.involution) == dict(reference.involution), context
+    assert direct.edges == reference.edges, context
+    assert direct == reference and hash(direct) == hash(reference), context
+    # Compiled-array identity: the CSR lowering must match byte for byte.
+    dc, rc = direct.compiled(), reference.compiled()
+    assert dc.nodes == rc.nodes, context
+    assert dc.offsets.tobytes() == rc.offsets.tobytes(), context
+    assert dc.mate.tobytes() == rc.mate.tobytes(), context
+    assert dc.port_node.tobytes() == rc.port_node.tobytes(), context
+
+
+class TestStructuredFamilyByteIdentity:
+    @pytest.mark.parametrize(
+        "name,build,args",
+        FAMILIES,
+        ids=[f"{n}{a}" for n, _, a in FAMILIES],
+    )
+    def test_direct_matches_networkx(self, name, build, args):
+        for seed in SEEDS:
+            direct = build(*args, seed=seed)
+            assert isinstance(direct, ArrayGraph), (
+                f"{name}{args} seed={seed}: direct path did not engage"
+            )
+            reference = nx_forced(build, args, seed)
+            assert not isinstance(reference, ArrayGraph)
+            assert_graphs_byte_identical(
+                direct, reference, f"{name}{args} seed={seed}"
+            )
+
+    def test_derived_properties_match(self):
+        for build, args in [(torus, (3, 4)), (grid, (2, 5)), (cycle, (6,))]:
+            direct = build(*args, seed=3)
+            reference = nx_forced(build, args, 3)
+            assert direct.num_nodes == reference.num_nodes
+            assert direct.num_edges == reference.num_edges
+            assert direct.max_degree == reference.max_degree
+            assert direct.regularity() == reference.regularity()
+            assert direct.is_simple() == reference.is_simple()
+            for node in direct.nodes:
+                assert direct.ports(node) == reference.ports(node)
+                assert direct.edges_at(node) == reference.edges_at(node)
+                for port in direct.ports(node):
+                    assert direct.connection(node, port) == (
+                        reference.connection(node, port)
+                    )
+
+    def test_construction_errors_unchanged(self):
+        with pytest.raises(ConstructionError):
+            cycle(2)
+        with pytest.raises(ConstructionError):
+            complete(1)
+        with pytest.raises(ConstructionError):
+            complete_bipartite(0, 3)
+        with pytest.raises(ConstructionError):
+            torus(2, 5)
+        with pytest.raises(ConstructionError):
+            path(0)
+
+    def test_pickle_round_trip(self):
+        direct = torus(3, 5, seed=9)
+        clone = pickle.loads(pickle.dumps(direct))
+        assert isinstance(clone, ArrayGraph)
+        assert_graphs_byte_identical(clone, direct, "pickle round trip")
+        assert clone == nx_forced(torus, (3, 5), 9)
+
+
+class TestRecordAndKeyParity:
+    """Registry-built units reproduce the networkx-era record bytes."""
+
+    SPECS = [
+        JobSpec(
+            algorithm="port_one",
+            graph=GraphSpec.make("cycle", seed=3, n=9),
+            measure="quality", optimum="auto", label="",
+        ),
+        JobSpec(
+            algorithm="bounded_degree",
+            graph=GraphSpec.make("grid", seed=None, rows=3, cols=4),
+            measure="quality", optimum="auto", label="",
+        ),
+        JobSpec(
+            algorithm="bounded_degree",
+            graph=GraphSpec.make("torus", seed=11, rows=3, cols=3),
+            measure="quality", optimum="auto", label="",
+        ),
+    ]
+
+    def _nx_record(self, spec, monkeypatch):
+        import repro.registry.builtins as builtins_mod
+
+        forced = {
+            "cycle": lambda n, *, seed=None: nx_forced(cycle, (n,), seed),
+            "grid": lambda r, c, *, seed=None: nx_forced(grid, (r, c), seed),
+            "torus": lambda r, c, *, seed=None: nx_forced(
+                torus, (r, c), seed
+            ),
+        }
+        name = spec.graph.family
+        monkeypatch.setattr(builtins_mod, name, forced[name])
+        return execute_unit(spec)
+
+    @pytest.mark.parametrize("index", range(3))
+    def test_records_byte_identical(self, index, monkeypatch):
+        spec = self.SPECS[index]
+        direct_record = execute_unit(spec)
+        nx_record = self._nx_record(spec, monkeypatch)
+        assert direct_record.to_json_dict() == nx_record.to_json_dict()
+        assert cache_key(spec) == direct_record.key == nx_record.key
+
+
+class TestArrayGraphValidation:
+    def arrays_for(self, graph):
+        c = graph.compiled()
+        return (
+            tuple(c.nodes),
+            tuple(c.graph.degrees[v] for v in c.nodes),
+            array("q", c.offsets),
+            array("q", c.mate),
+            array("q", c.port_node),
+        )
+
+    def test_validate_accepts_well_formed(self):
+        nodes, degrees, offsets, mate, port_node = self.arrays_for(cycle(5))
+        rebuilt = ArrayGraph(nodes, degrees, offsets, mate, port_node)
+        assert rebuilt == cycle(5)
+
+    def test_rejects_broken_involution(self):
+        nodes, degrees, offsets, mate, port_node = self.arrays_for(cycle(5))
+        mate[0] = 0 if mate[0] != 0 else 1
+        mate_is_fixed_or_paired = mate[mate[0]] == 0
+        if mate_is_fixed_or_paired:
+            mate[1] = 1  # break pairing elsewhere
+        with pytest.raises(InvolutionError):
+            ArrayGraph(nodes, degrees, offsets, mate, port_node)
+
+    def test_rejects_mate_out_of_range(self):
+        nodes, degrees, offsets, mate, port_node = self.arrays_for(cycle(5))
+        mate[3] = len(mate) + 5
+        with pytest.raises(InvolutionError):
+            ArrayGraph(nodes, degrees, offsets, mate, port_node)
+
+    def test_rejects_inconsistent_offsets(self):
+        nodes, degrees, offsets, mate, port_node = self.arrays_for(cycle(5))
+        offsets[2] += 1
+        with pytest.raises(PortNumberingError):
+            ArrayGraph(nodes, degrees, offsets, mate, port_node)
+
+    def test_rejects_duplicate_nodes(self):
+        nodes, degrees, offsets, mate, port_node = self.arrays_for(cycle(5))
+        with pytest.raises(PortNumberingError):
+            ArrayGraph(
+                (nodes[0],) + nodes[1:-1] + (nodes[0],),
+                degrees, offsets, mate, port_node,
+            )
+
+    def test_rejects_wrong_port_owner(self):
+        nodes, degrees, offsets, mate, port_node = self.arrays_for(cycle(5))
+        port_node[0] = 1
+        with pytest.raises(PortNumberingError):
+            ArrayGraph(nodes, degrees, offsets, mate, port_node)
+
+
+class TestArrayGraphDegenerate:
+    def test_empty_graph(self):
+        empty = ArrayGraph((), (), array("q", [0]), array("q"), array("q"))
+        assert empty.num_nodes == 0
+        assert empty.num_edges == 0
+        assert empty.edges == ()
+        assert empty == grid(0, 3)
+
+    def test_single_isolated_node(self):
+        lone = ArrayGraph((0,), (0,), array("q", [0, 0]),
+                          array("q"), array("q"))
+        assert lone.num_edges == 0
+        assert lone.degree(0) == 0
+        assert lone == path(1)
+
+    def test_directed_loop_fixed_point(self):
+        # One node, one port, mate[0] == 0: a directed self-loop — a
+        # legal port-numbered graph that no generator emits but the
+        # array layer must model (orbit of size one = one edge).
+        loop = ArrayGraph((5,), (1,), array("q", [0, 1]),
+                          array("q", [0]), array("q", [0]))
+        assert loop.num_edges == 1
+        assert not loop.is_simple()
+        (edge,) = loop.edges
+        assert edge.endpoints == frozenset({5})
+        assert loop.connection(5, 1) == (5, 1)
+
+    def test_two_node_multigraph(self):
+        # Double edge between two nodes: valid arrays, not simple.
+        double = ArrayGraph(
+            (0, 1), (2, 2), array("q", [0, 2, 4]),
+            array("q", [2, 3, 0, 1]), array("q", [0, 0, 1, 1]),
+        )
+        assert double.num_edges == 2
+        assert not double.is_simple()
+
+    def test_from_arrays_skips_flat_list_seeding(self):
+        compiled = cycle(6).compiled()
+        assert isinstance(compiled, CompiledGraph)
+        assert "flat_lists" not in compiled.memo
+        mate, port_node = compiled.flat_lists()
+        assert mate == list(compiled.mate)
+        assert port_node == list(compiled.port_node)

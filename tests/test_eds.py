@@ -74,6 +74,49 @@ class TestProperties:
         assert minimum_eds_size(g) == 2
 
 
+class TestArrayFastPath:
+    """The compiled-array feasibility check must agree with the
+    set-based definition on every subset, including loops and graphs
+    whose arrays exist up front (the direct-to-CSR families)."""
+
+    def graphs(self):
+        from repro.generators.pairing import pairing_regular
+        from repro.generators.regular import cycle, torus
+
+        star = from_networkx(nx.star_graph(4))
+        star.compiled()  # attach arrays so the fast path engages
+        return [cycle(7), torus(3, 3), pairing_regular(3, 8, seed=1), star]
+
+    def test_matches_set_semantics_on_all_small_subsets(self):
+        from itertools import combinations
+
+        from repro.eds.properties import _is_eds_arrays
+
+        for graph in self.graphs():
+            edges = list(graph.edges)
+            for k in range(0, min(3, len(edges)) + 1):
+                for subset in combinations(edges, k):
+                    expected = not undominated_edges(graph, subset)
+                    assert is_edge_dominating_set(graph, subset) == expected
+                    fast = _is_eds_arrays(graph, subset)
+                    assert fast is None or fast == expected
+
+    def test_declines_without_compiled_arrays(self):
+        from repro.eds.properties import _is_eds_arrays
+
+        g = from_networkx(nx.path_graph(4))
+        assert getattr(g, "_compiled", None) is None
+        assert _is_eds_arrays(g, []) is None
+        assert not is_edge_dominating_set(g, [])
+
+    def test_foreign_endpoints_cover_nothing(self):
+        from repro.portgraph.ports import PortEdge
+
+        g = self.graphs()[0]  # cycle(7), arrays attached
+        foreign = PortEdge.make(100, 1, 200, 1)
+        assert not is_edge_dominating_set(g, [foreign])
+
+
 class TestExact:
     def test_minimum_is_maximal_matching(self):
         g = from_networkx(nx.petersen_graph())

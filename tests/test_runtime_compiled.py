@@ -37,6 +37,7 @@ FIXTURES = Path(__file__).parent / "data"
 #: Two instances per plain (non-lower-bound, non-artifact) family.
 FAMILY_INSTANCES: dict[str, tuple[dict, dict]] = {
     "regular": ({"d": 3, "n": 10}, {"d": 4, "n": 16}),
+    "pairing_regular": ({"d": 3, "n": 8}, {"d": 4, "n": 9}),
     "cycle": ({"n": 5}, {"n": 12}),
     "complete": ({"n": 4}, {"n": 7}),
     "hypercube": ({"dim": 2}, {"dim": 3}),
